@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: lookup + update throughput of
+ * every predictor in the zoo, the critic structures, and the full
+ * prophet/critic hybrid event path. These measure simulator
+ * performance (host ns/prediction), not prediction accuracy.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/filtered_perceptron.hh"
+#include "core/presets.hh"
+#include "core/tagged_gshare.hh"
+#include "predictors/factory.hh"
+
+using namespace pcbp;
+
+namespace
+{
+
+/** Deterministic stream of (pc, outcome, history) stimuli. */
+struct Stimulus
+{
+    explicit Stimulus(std::uint64_t seed) : rng(seed) {}
+
+    void
+    step()
+    {
+        pc = 0x400000 + (rng.nextBelow(4096) << 4);
+        outcome = rng.nextBool(0.6);
+        hist.shiftIn(outcome);
+    }
+
+    Rng rng;
+    Addr pc = 0x400000;
+    bool outcome = false;
+    HistoryRegister hist;
+};
+
+void
+benchProphet(benchmark::State &state, ProphetKind kind)
+{
+    auto pred = makeProphet(kind, Budget::B8KB);
+    Stimulus s(42);
+    for (auto _ : state) {
+        s.step();
+        const bool taken = pred->predict(s.pc, s.hist);
+        benchmark::DoNotOptimize(taken);
+        pred->update(s.pc, s.hist, s.outcome);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+benchCritic(benchmark::State &state, CriticKind kind)
+{
+    auto critic = makeCritic(kind, Budget::B8KB);
+    Stimulus s(43);
+    for (auto _ : state) {
+        s.step();
+        const CritiqueResult r = critic->critique(s.pc, s.hist);
+        benchmark::DoNotOptimize(r);
+        critic->train(s.pc, s.hist, s.outcome, !r.provided);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+benchHybridPath(benchmark::State &state)
+{
+    auto hybrid =
+        makeHybrid(ProphetKind::Perceptron, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8);
+    Stimulus s(44);
+    std::vector<bool> fb(8, false);
+    for (auto _ : state) {
+        s.step();
+        BranchContext ctx;
+        const bool pred = hybrid->predictBranch(s.pc, ctx);
+        for (std::size_t i = 0; i < fb.size(); ++i)
+            fb[i] = (i == 0) ? pred : s.rng.nextBool(0.5);
+        const CritiqueDecision d =
+            hybrid->critiqueBranch(s.pc, ctx, pred, fb);
+        benchmark::DoNotOptimize(d.finalPrediction);
+        hybrid->commitBranch(s.pc, ctx, d, s.outcome);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchProphet, gshare, ProphetKind::Gshare);
+BENCHMARK_CAPTURE(benchProphet, gskew, ProphetKind::GSkew);
+BENCHMARK_CAPTURE(benchProphet, perceptron, ProphetKind::Perceptron);
+BENCHMARK_CAPTURE(benchProphet, bimodal, ProphetKind::Bimodal);
+BENCHMARK_CAPTURE(benchProphet, yags, ProphetKind::Yags);
+BENCHMARK_CAPTURE(benchProphet, local, ProphetKind::Local);
+BENCHMARK_CAPTURE(benchProphet, tournament, ProphetKind::Tournament);
+BENCHMARK_CAPTURE(benchProphet, two_level, ProphetKind::TwoLevel);
+
+BENCHMARK_CAPTURE(benchCritic, tagged_gshare, CriticKind::TaggedGshare);
+BENCHMARK_CAPTURE(benchCritic, filtered_perceptron,
+                  CriticKind::FilteredPerceptron);
+BENCHMARK_CAPTURE(benchCritic, unfiltered_perceptron,
+                  CriticKind::UnfilteredPerceptron);
+
+BENCHMARK(benchHybridPath);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * pcbp_run — the command-line experiment driver.
+ *
+ * Runs any prophet/critic configuration on any registered workload
+ * through the accuracy engine or the cycle-level timing model, and
+ * prints the full statistics. This is the tool a downstream user
+ * reaches for before writing code against the library.
+ *
+ *   pcbp_run [options]
+ *     --workload NAME        workload (default int.crafty); LIST lists
+ *     --prophet KIND:BUDGET  e.g. perceptron:8KB (default)
+ *     --critic KIND:BUDGET   e.g. t.gshare:8KB; "none" for baseline
+ *     --fb N                 future bits (default 8)
+ *     --branches N           measured branches (default: workload's)
+ *     --timing               run the timing model instead
+ *     --oracle               oracle future bits (Sec. 6 ablation)
+ *     --no-btb               disable the BTB
+ *     --per-branch N         print the top-N mispredicting branches
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/driver.hh"
+
+using namespace pcbp;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " [options]\n"
+        << "  --workload NAME | LIST   (default int.crafty)\n"
+        << "  --prophet KIND:BUDGET    (default perceptron:8KB)\n"
+        << "  --critic KIND:BUDGET|none (default t.gshare:8KB)\n"
+        << "  --fb N                   future bits (default 8)\n"
+        << "  --branches N             measured branches\n"
+        << "  --timing                 cycle-level timing model\n"
+        << "  --oracle                 oracle future bits (ablation)\n"
+        << "  --no-btb                 disable the BTB\n"
+        << "  --per-branch N           top-N mispredicting branches\n";
+    std::exit(2);
+}
+
+/** Split "kind:budget" (budget optional, default 8KB). */
+std::pair<std::string, Budget>
+splitSpec(const std::string &s)
+{
+    const auto colon = s.find(':');
+    if (colon == std::string::npos)
+        return {s, Budget::B8KB};
+    return {s.substr(0, colon), parseBudget(s.substr(colon + 1))};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "int.crafty";
+    std::string prophet = "perceptron:8KB";
+    std::string critic = "t.gshare:8KB";
+    unsigned fb = 8;
+    std::uint64_t branches = 0;
+    bool timing = false, oracle = false, no_btb = false;
+    unsigned per_branch = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            workload = next();
+        else if (arg == "--prophet")
+            prophet = next();
+        else if (arg == "--critic")
+            critic = next();
+        else if (arg == "--fb")
+            fb = static_cast<unsigned>(std::atoi(next().c_str()));
+        else if (arg == "--branches")
+            branches = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--timing")
+            timing = true;
+        else if (arg == "--oracle")
+            oracle = true;
+        else if (arg == "--no-btb")
+            no_btb = true;
+        else if (arg == "--per-branch")
+            per_branch =
+                static_cast<unsigned>(std::atoi(next().c_str()));
+        else
+            usage(argv[0]);
+    }
+
+    if (workload == "LIST") {
+        TablePrinter t({"workload", "suite", "static branches",
+                        "sim branches"});
+        for (const auto &w : allWorkloads())
+            t.addRow({w.name, w.suite,
+                      std::to_string(w.recipe.targetBlocks),
+                      std::to_string(w.simBranches)});
+        std::cout << t.str();
+        return 0;
+    }
+
+    const Workload &w = workloadByName(workload);
+
+    HybridSpec spec;
+    {
+        const auto [pk, pb] = splitSpec(prophet);
+        spec.prophet = parseProphetKind(pk);
+        spec.prophetBudget = pb;
+    }
+    if (critic != "none") {
+        const auto [ck, cb] = splitSpec(critic);
+        spec.critic = parseCriticKind(ck);
+        spec.criticBudget = cb;
+        spec.futureBits = fb;
+    }
+
+    std::cout << "workload: " << w.name << " (suite " << w.suite
+              << "); predictor: " << spec.label()
+              << (spec.critic ? " @" + std::to_string(fb) + "fb" : "")
+              << "\n\n";
+
+    if (timing) {
+        TimingConfig cfg = timingConfigFor(w);
+        if (branches) {
+            cfg.measureBranches = branches;
+            cfg.warmupBranches = branches / 10;
+        }
+        cfg.useBtb = !no_btb;
+        Program prog = buildProgram(w);
+        auto hybrid = spec.build();
+        TimingSim sim(prog, *hybrid, cfg);
+        const TimingStats st = sim.run();
+        TablePrinter t({"metric", "value"});
+        t.addRow({"uPC", fmtDouble(st.upc(), 3)});
+        t.addRow({"cycles", std::to_string(st.cycles)});
+        t.addRow({"committed uops", std::to_string(st.committedUops)});
+        t.addRow({"fetched uops", std::to_string(st.fetchedUops)});
+        t.addRow({"wrong-path fetched uops",
+                  std::to_string(st.wrongPathFetchedUops)});
+        t.addRow({"pipeline flushes",
+                  std::to_string(st.finalMispredicts)});
+        t.addRow({"uops per flush", fmtDouble(st.uopsPerFlush(), 0)});
+        t.addRow({"critic overrides",
+                  std::to_string(st.criticOverrides)});
+        t.addRow({"partial critiques",
+                  std::to_string(st.partialCritiques)});
+        std::cout << t.str();
+        return 0;
+    }
+
+    EngineConfig cfg = engineConfigFor(w);
+    if (branches) {
+        cfg.measureBranches = branches;
+        cfg.warmupBranches = branches / 10;
+    }
+    cfg.oracleFutureBits = oracle;
+    cfg.useBtb = !no_btb;
+    cfg.collectPerBranch = per_branch > 0;
+
+    const EngineStats st = runAccuracy(w, spec, cfg);
+
+    TablePrinter t({"metric", "value"});
+    t.addRow({"committed branches",
+              std::to_string(st.committedBranches)});
+    t.addRow({"committed uops", std::to_string(st.committedUops)});
+    t.addRow({"misp/Kuops", fmtDouble(st.mispPerKuops(), 3)});
+    t.addRow({"mispredict rate", fmtPercent(st.mispRate(), 2)});
+    t.addRow({"prophet mispredict rate",
+              fmtPercent(st.prophetMispRate(), 2)});
+    t.addRow({"uops per flush", fmtDouble(st.uopsPerFlush(), 0)});
+    t.addRow({"BTB misses", std::to_string(st.btbMisses)});
+    t.addRow({"critic overrides", std::to_string(st.criticOverrides)});
+    t.addRow({"squashed FTQ predictions",
+              std::to_string(st.squashedPredictions)});
+    t.addRow({"wrong-path uops", std::to_string(st.wrongPathUops)});
+    t.addRow({"partial critiques",
+              std::to_string(st.partialCritiques)});
+    std::cout << t.str();
+
+    if (spec.critic) {
+        std::cout << "\ncritique distribution:\n";
+        TablePrinter ct({"class", "count"});
+        for (std::size_t c = 0; c < numCritiqueClasses; ++c) {
+            const auto cls = static_cast<CritiqueClass>(c);
+            ct.addRow({critiqueClassName(cls),
+                       std::to_string(st.critiques.get(cls))});
+        }
+        std::cout << ct.str();
+    }
+
+    if (per_branch > 0) {
+        std::cout << "\ntop mispredicting branches:\n";
+        TablePrinter pt({"pc", "execs", "prophet wrong", "final wrong"});
+        unsigned shown = 0;
+        for (const auto &pb : st.perBranch) {
+            if (shown++ >= per_branch)
+                break;
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(pb.pc));
+            pt.addRow({buf, std::to_string(pb.execs),
+                       std::to_string(pb.prophetWrong),
+                       std::to_string(pb.finalWrong)});
+        }
+        std::cout << pt.str();
+    }
+    return 0;
+}

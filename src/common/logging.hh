@@ -1,0 +1,82 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic for internal invariant
+ * violations, fatal for user/configuration errors, warn/inform for
+ * non-fatal conditions.
+ */
+
+#ifndef PCBP_COMMON_LOGGING_HH
+#define PCBP_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace pcbp
+{
+
+/** Print "panic: <msg>" and abort(). Use for internal bugs only. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print "fatal: <msg>" and exit(1). Use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print "warn: <msg>" to stderr and continue. */
+void warnImpl(const std::string &msg);
+
+/** Print "info: <msg>" to stderr and continue. */
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace pcbp
+
+#define pcbp_panic(...) \
+    ::pcbp::panicImpl(__FILE__, __LINE__, ::pcbp::detail::concat(__VA_ARGS__))
+
+#define pcbp_fatal(...) \
+    ::pcbp::fatalImpl(__FILE__, __LINE__, ::pcbp::detail::concat(__VA_ARGS__))
+
+#define pcbp_warn(...) \
+    ::pcbp::warnImpl(::pcbp::detail::concat(__VA_ARGS__))
+
+#define pcbp_inform(...) \
+    ::pcbp::informImpl(::pcbp::detail::concat(__VA_ARGS__))
+
+/** Panic when an internal invariant does not hold. */
+#define pcbp_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::pcbp::panicImpl(__FILE__, __LINE__,                           \
+                ::pcbp::detail::concat("assertion '", #cond, "' failed ",   \
+                                       ##__VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+
+#endif // PCBP_COMMON_LOGGING_HH

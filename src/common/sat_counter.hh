@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Saturating up/down counter, the basic prediction unit of most
+ * table-based branch predictors.
+ */
+
+#ifndef PCBP_COMMON_SAT_COUNTER_HH
+#define PCBP_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+/**
+ * An n-bit saturating counter. The counter predicts taken when it is
+ * in the upper half of its range (for the canonical 2-bit counter:
+ * states 2 and 3 predict taken).
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits Width of the counter in bits (1..8).
+     * @param initial Initial counter value.
+     */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : maxVal((1u << bits) - 1), val(initial)
+    {
+        pcbp_assert(bits >= 1 && bits <= 8);
+        pcbp_assert(initial <= maxVal);
+    }
+
+    /** Increment, saturating at the maximum value. */
+    void
+    increment()
+    {
+        if (val < maxVal)
+            ++val;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (val > 0)
+            --val;
+    }
+
+    /** Move the counter toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Direction prediction: true = taken. */
+    bool taken() const { return val > maxVal / 2; }
+
+    /** True when the counter is at either extreme (high confidence). */
+    bool saturated() const { return val == 0 || val == maxVal; }
+
+    /** Raw counter value. */
+    unsigned value() const { return val; }
+
+    /** Force the counter to a specific value (used by filters). */
+    void
+    set(unsigned v)
+    {
+        pcbp_assert(v <= maxVal);
+        val = v;
+    }
+
+    /** Initialize weakly toward a direction (e.g.\ on allocation). */
+    void
+    setWeak(bool taken_dir)
+    {
+        val = taken_dir ? maxVal / 2 + 1 : maxVal / 2;
+    }
+
+    /** Maximum representable value. */
+    unsigned maxValue() const { return maxVal; }
+
+  private:
+    std::uint8_t maxVal = 3;
+    std::uint8_t val = 0;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_COMMON_SAT_COUNTER_HH

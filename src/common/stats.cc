@@ -1,0 +1,156 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+Histogram::Histogram(std::uint64_t bucket_width, unsigned num_buckets)
+    : width(bucket_width), bins(num_buckets + 1, 0)
+{
+    pcbp_assert(bucket_width > 0 && num_buckets > 0);
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    const std::size_t idx =
+        std::min<std::size_t>(value / width, bins.size() - 1);
+    ++bins[idx];
+    ++total;
+    sum += static_cast<double>(value);
+}
+
+double
+Histogram::mean() const
+{
+    return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (total == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double target = p / 100.0 * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        seen += bins[i];
+        if (static_cast<double>(seen) >= target) {
+            // Midpoint of the bucket as the estimate.
+            return (static_cast<double>(i) + 0.5) *
+                   static_cast<double>(width);
+        }
+    }
+    return static_cast<double>(bins.size()) * static_cast<double>(width);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+    total = 0;
+    sum = 0.0;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    auto it = index.find(name);
+    if (it == index.end()) {
+        index.emplace(name, ordered.size());
+        ordered.push_back({name, value});
+    } else {
+        ordered[it->second].value = value;
+    }
+}
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        set(name, delta);
+    else
+        ordered[it->second].value += delta;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        pcbp_fatal("unknown stat '", name, "'");
+    return ordered[it->second].value;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return index.count(name) != 0;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    pcbp_assert(cells.size() == head.size(),
+                "row width ", cells.size(), " vs header ", head.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::str() const
+{
+    std::vector<std::size_t> w(head.size(), 0);
+    for (std::size_t c = 0; c < head.size(); ++c)
+        w[c] = head[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            w[c] = std::max(w[c], r[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &r) {
+        os << "|";
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            os << ' ' << r[c];
+            os << std::string(w[c] - r[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+    emit_row(head);
+    os << "|";
+    for (std::size_t c = 0; c < head.size(); ++c)
+        os << std::string(w[c] + 2, '-') << "|";
+    os << '\n';
+    for (const auto &r : rows)
+        emit_row(r);
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double frac, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, frac * 100.0);
+    return buf;
+}
+
+} // namespace pcbp

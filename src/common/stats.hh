@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lightweight statistics: scalar counters, ratios, and histograms,
+ * with pretty-printing helpers shared by the bench harness.
+ */
+
+#ifndef PCBP_COMMON_STATS_HH
+#define PCBP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pcbp
+{
+
+/** A named scalar statistic. */
+struct Scalar
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/**
+ * Simple fixed-bucket histogram for distances/latencies, e.g.\ the
+ * distribution of uops between pipeline flushes.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket.
+     * @param num_buckets Number of buckets; values past the last
+     *        bucket accumulate in the overflow bucket.
+     */
+    explicit Histogram(std::uint64_t bucket_width = 64,
+                       unsigned num_buckets = 64);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Mean of all samples. */
+    double mean() const;
+
+    /** Approximate p-th percentile (p in [0, 100]). */
+    double percentile(double p) const;
+
+    /** Bucket counts (last entry is the overflow bucket). */
+    const std::vector<std::uint64_t> &buckets() const { return bins; }
+
+    std::uint64_t bucketWidth() const { return width; }
+
+    void reset();
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+};
+
+/**
+ * Accumulates named scalars in insertion order; used by the driver
+ * to assemble result tables.
+ */
+class StatSet
+{
+  public:
+    /** Add (or overwrite) a named value. */
+    void set(const std::string &name, double value);
+
+    /** Add to a named value, creating it at zero if absent. */
+    void add(const std::string &name, double delta);
+
+    /** Fetch a value; fatal if missing. */
+    double get(const std::string &name) const;
+
+    /** True if the stat exists. */
+    bool has(const std::string &name) const;
+
+    const std::vector<Scalar> &all() const { return ordered; }
+
+  private:
+    std::vector<Scalar> ordered;
+    std::map<std::string, std::size_t> index;
+};
+
+/**
+ * Render a fixed-column ASCII table (used by bench binaries to print
+ * paper-style tables).
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Format the whole table, markdown-style. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p digits decimal places. */
+std::string fmtDouble(double v, int digits = 3);
+
+/** Format a percentage (0.1234 -> "12.3%"). */
+std::string fmtPercent(double frac, int digits = 1);
+
+} // namespace pcbp
+
+#endif // PCBP_COMMON_STATS_HH

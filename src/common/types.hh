@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every pcbp module.
+ */
+
+#ifndef PCBP_COMMON_TYPES_HH
+#define PCBP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace pcbp
+{
+
+/** Byte address of an instruction (branch PC). */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Count of micro-operations. */
+using UopCount = std::uint64_t;
+
+/** Identifier of a static branch / basic block inside a Program. */
+using BlockId = std::uint32_t;
+
+/** Sentinel for "no block". */
+constexpr BlockId invalidBlock = static_cast<BlockId>(-1);
+
+} // namespace pcbp
+
+#endif // PCBP_COMMON_TYPES_HH

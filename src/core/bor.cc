@@ -1,0 +1,16 @@
+#include "core/bor.hh"
+
+namespace pcbp
+{
+
+HistoryRegister
+buildCritiqueBor(const HistoryRegister &bor_before,
+                 const std::vector<bool> &future_bits)
+{
+    HistoryRegister bor = bor_before;
+    for (bool b : future_bits)
+        bor.shiftIn(b);
+    return bor;
+}
+
+} // namespace pcbp

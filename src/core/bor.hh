@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Branch Outcome Register (BOR) support.
+ *
+ * The BOR is the critic's history input: a shift register that the
+ * prophet fills with its predictions as it makes them. When a branch
+ * is critiqued with n future bits, the youngest n bits of the BOR
+ * are the prophet's predictions for the branch itself and the n-1
+ * branches that followed it; the older bits are (speculative)
+ * history (§3.1, Fig. 1).
+ *
+ * Storage-wise the BOR is just a HistoryRegister; this header adds
+ * the per-branch checkpoint record and the helper that reconstructs
+ * the BOR view a critique sees.
+ */
+
+#ifndef PCBP_CORE_BOR_HH
+#define PCBP_CORE_BOR_HH
+
+#include <vector>
+
+#include "common/history_register.hh"
+#include "common/types.hh"
+
+namespace pcbp
+{
+
+/**
+ * Checkpoint taken when the prophet predicts a branch: the BHR and
+ * BOR contents from just before the branch's own prediction was
+ * shifted in. Restoring these and inserting the resolved outcome is
+ * the repair mechanism of §3.3.
+ */
+struct BranchContext
+{
+    HistoryRegister bhrBefore;
+    HistoryRegister borBefore;
+};
+
+/**
+ * Reconstruct the BOR as seen by the critique of a branch.
+ *
+ * @param bor_before BOR checkpoint from the branch's prediction.
+ * @param future_bits The prophet's predictions for the branch and
+ *        the ones after it, oldest first (so future_bits[0] is the
+ *        prediction for the branch being critiqued).
+ * @return BOR with future_bits shifted in youngest-last.
+ */
+HistoryRegister buildCritiqueBor(const HistoryRegister &bor_before,
+                                 const std::vector<bool> &future_bits);
+
+} // namespace pcbp
+
+#endif // PCBP_CORE_BOR_HH

@@ -1,0 +1,71 @@
+#include "core/confidence.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+JrsConfidence::JrsConfidence(std::size_t num_entries,
+                             unsigned counter_bits,
+                             unsigned history_bits, bool use_future_bit,
+                             unsigned threshold)
+    : table(num_entries, SatCounter(counter_bits, 0)),
+      ctrBits(counter_bits),
+      histBits(history_bits),
+      indexBits(log2Floor(num_entries)),
+      useFuture(use_future_bit),
+      thresh(threshold)
+{
+    pcbp_assert(isPowerOfTwo(num_entries),
+                "confidence table must be 2^n");
+    pcbp_assert(threshold > 0 &&
+                threshold <= maskBits(counter_bits));
+}
+
+std::size_t
+JrsConfidence::index(Addr pc, const HistoryRegister &hist,
+                     bool pred) const
+{
+    std::uint64_t key = foldBits(pc >> 2, indexBits) ^
+                        hist.foldedLow(histBits, indexBits);
+    if (useFuture) {
+        // The Grunwald enhancement: the prediction is one future
+        // bit of context.
+        key = (key << 1) | static_cast<std::uint64_t>(pred);
+    }
+    return key & maskBits(indexBits);
+}
+
+bool
+JrsConfidence::highConfidence(Addr pc, const HistoryRegister &hist,
+                              bool pred) const
+{
+    return table[index(pc, hist, pred)].value() >= thresh;
+}
+
+void
+JrsConfidence::update(Addr pc, const HistoryRegister &hist, bool pred,
+                      bool correct)
+{
+    SatCounter &c = table[index(pc, hist, pred)];
+    if (correct)
+        c.increment();
+    else
+        c.set(0); // resetting counter: one miss clears confidence
+}
+
+void
+JrsConfidence::reset()
+{
+    for (auto &c : table)
+        c.set(0);
+}
+
+std::size_t
+JrsConfidence::sizeBits() const
+{
+    return table.size() * ctrBits;
+}
+
+} // namespace pcbp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * JRS confidence estimator (Jacobsen, Rotenberg & Smith, MICRO'96)
+ * with the Grunwald et al.\ enhancement the paper's §2 describes as
+ * the one-future-bit special case of prophet/critic operation:
+ * including the current prediction in the estimator's context
+ * improves speculation control.
+ *
+ * A table of resetting miss counters is indexed by a hash of branch
+ * address and history (optionally extended with the prediction
+ * itself). A counter above the threshold marks the prediction as
+ * high-confidence.
+ */
+
+#ifndef PCBP_CORE_CONFIDENCE_HH
+#define PCBP_CORE_CONFIDENCE_HH
+
+#include <vector>
+
+#include "common/history_register.hh"
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace pcbp
+{
+
+class JrsConfidence
+{
+  public:
+    /**
+     * @param num_entries Counter-table entries (power of two).
+     * @param counter_bits Width of the resetting counters.
+     * @param history_bits History bits hashed into the index.
+     * @param use_future_bit Include the prediction itself in the
+     *        index (the Grunwald enhancement — one future bit).
+     * @param threshold Counter value at or above which a prediction
+     *        is deemed high-confidence.
+     */
+    JrsConfidence(std::size_t num_entries, unsigned counter_bits,
+                  unsigned history_bits, bool use_future_bit,
+                  unsigned threshold);
+
+    /** Is the prediction @p pred for @p pc high-confidence? */
+    bool highConfidence(Addr pc, const HistoryRegister &hist,
+                        bool pred) const;
+
+    /**
+     * Commit-time update: reset the counter on a mispredict,
+     * increment it (saturating) on a correct prediction.
+     */
+    void update(Addr pc, const HistoryRegister &hist, bool pred,
+                bool correct);
+
+    void reset();
+
+    std::size_t sizeBits() const;
+    bool usesFutureBit() const { return useFuture; }
+
+  private:
+    std::size_t index(Addr pc, const HistoryRegister &hist,
+                      bool pred) const;
+
+    std::vector<SatCounter> table;
+    unsigned ctrBits;
+    unsigned histBits;
+    unsigned indexBits;
+    bool useFuture;
+    unsigned thresh;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_CORE_CONFIDENCE_HH

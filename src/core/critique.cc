@@ -1,0 +1,54 @@
+#include "core/critique.hh"
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+CritiqueClass
+classifyCritique(bool prophet_correct, bool provided, bool agreed)
+{
+    if (!provided) {
+        return prophet_correct ? CritiqueClass::CorrectNone
+                               : CritiqueClass::IncorrectNone;
+    }
+    if (prophet_correct) {
+        return agreed ? CritiqueClass::CorrectAgree
+                      : CritiqueClass::CorrectDisagree;
+    }
+    return agreed ? CritiqueClass::IncorrectAgree
+                  : CritiqueClass::IncorrectDisagree;
+}
+
+std::string
+critiqueClassName(CritiqueClass c)
+{
+    switch (c) {
+      case CritiqueClass::CorrectAgree: return "correct_agree";
+      case CritiqueClass::CorrectDisagree: return "correct_disagree";
+      case CritiqueClass::IncorrectAgree: return "incorrect_agree";
+      case CritiqueClass::IncorrectDisagree: return "incorrect_disagree";
+      case CritiqueClass::CorrectNone: return "correct_none";
+      case CritiqueClass::IncorrectNone: return "incorrect_none";
+      default: break;
+    }
+    pcbp_panic("bad CritiqueClass");
+}
+
+std::uint64_t
+CritiqueCounts::explicitTotal() const
+{
+    return get(CritiqueClass::CorrectAgree) +
+           get(CritiqueClass::CorrectDisagree) +
+           get(CritiqueClass::IncorrectAgree) +
+           get(CritiqueClass::IncorrectDisagree);
+}
+
+std::uint64_t
+CritiqueCounts::noneTotal() const
+{
+    return get(CritiqueClass::CorrectNone) +
+           get(CritiqueClass::IncorrectNone);
+}
+
+} // namespace pcbp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Critique classification (§7.3): every final critique is classified
+ * by the prophet's prediction (correct/incorrect) crossed with the
+ * critic's critique (agree/disagree), plus the two implicit classes
+ * from filter misses (correct_none / incorrect_none).
+ */
+
+#ifndef PCBP_CORE_CRITIQUE_HH
+#define PCBP_CORE_CRITIQUE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pcbp
+{
+
+enum class CritiqueClass : std::uint8_t
+{
+    CorrectAgree,      // prophet right, critic agrees (neutral)
+    CorrectDisagree,   // prophet right, critic overrides (the worst case)
+    IncorrectAgree,    // prophet wrong, critic misses the chance
+    IncorrectDisagree, // prophet wrong, critic fixes it (the goal)
+    CorrectNone,       // filter miss, prophet right
+    IncorrectNone,     // filter miss, prophet wrong
+    NumClasses,
+};
+
+/** Number of distinct critique classes. */
+constexpr std::size_t numCritiqueClasses =
+    static_cast<std::size_t>(CritiqueClass::NumClasses);
+
+/**
+ * Classify a committed branch's critique.
+ *
+ * @param prophet_correct The prophet's prediction matched the
+ *        resolved outcome.
+ * @param provided The critic provided a critique (filter hit, or
+ *        unfiltered critic).
+ * @param agreed Critic direction == prophet direction (only
+ *        meaningful when provided).
+ */
+CritiqueClass classifyCritique(bool prophet_correct, bool provided,
+                               bool agreed);
+
+/** Stable display name, e.g.\ "correct_agree". */
+std::string critiqueClassName(CritiqueClass c);
+
+/** Per-class counters. */
+struct CritiqueCounts
+{
+    std::array<std::uint64_t, numCritiqueClasses> counts{};
+
+    void
+    record(CritiqueClass c)
+    {
+        ++counts[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t
+    get(CritiqueClass c) const
+    {
+        return counts[static_cast<std::size_t>(c)];
+    }
+
+    /** Critiques where the filter hit (explicit agree/disagree). */
+    std::uint64_t explicitTotal() const;
+
+    /** Filter misses (implicit agreement). */
+    std::uint64_t noneTotal() const;
+
+    std::uint64_t total() const { return explicitTotal() + noneTotal(); }
+};
+
+} // namespace pcbp
+
+#endif // PCBP_CORE_CRITIQUE_HH

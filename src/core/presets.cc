@@ -1,0 +1,118 @@
+#include "core/presets.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "core/critic.hh"
+#include "core/filtered_perceptron.hh"
+#include "core/tagged_gshare.hh"
+#include "predictors/gshare.hh"
+#include "predictors/perceptron.hh"
+
+namespace pcbp
+{
+
+namespace
+{
+
+// Table 3: tagged gshare row — sets x 6-way, BOR size 18.
+constexpr std::array<std::size_t, 5> tgshareSets = {
+    256, 512, 1024, 2048, 4096,
+};
+constexpr unsigned tgshareWays = 6;
+constexpr unsigned tgshareTagBits = 10;
+constexpr unsigned tgshareBorBits = 18;
+
+// Table 3: filtered perceptron rows.
+constexpr std::array<std::size_t, 5> fpercCount = {73, 113, 163, 282, 348};
+constexpr std::array<unsigned, 5> fpercHistory = {13, 17, 24, 28, 47};
+constexpr std::array<std::size_t, 5> fpercFilterSets = {
+    128, 256, 512, 1024, 2048,
+};
+constexpr unsigned fpercFilterWays = 3;
+constexpr unsigned fpercTagBits = 10;
+constexpr unsigned fpercFilterBorBits = 18;
+
+// Unfiltered perceptron critic reuses the Table 3 perceptron row.
+constexpr std::array<std::size_t, 5> upercCount = {113, 163, 282, 348, 565};
+constexpr std::array<unsigned, 5> upercHistory = {17, 24, 28, 47, 57};
+
+// Unfiltered gshare critic reuses the Table 3 gshare row.
+constexpr std::array<std::size_t, 5> ugshareEntries = {
+    8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024,
+};
+constexpr std::array<unsigned, 5> ugshareHistory = {13, 14, 15, 16, 17};
+
+} // namespace
+
+std::string
+criticKindName(CriticKind k)
+{
+    switch (k) {
+      case CriticKind::TaggedGshare: return "t.gshare";
+      case CriticKind::FilteredPerceptron: return "f.perceptron";
+      case CriticKind::UnfilteredPerceptron: return "u.perceptron";
+      case CriticKind::UnfilteredGshare: return "u.gshare";
+    }
+    pcbp_panic("bad CriticKind");
+}
+
+CriticKind
+parseCriticKind(const std::string &s)
+{
+    for (CriticKind k : {CriticKind::TaggedGshare,
+                         CriticKind::FilteredPerceptron,
+                         CriticKind::UnfilteredPerceptron,
+                         CriticKind::UnfilteredGshare}) {
+        if (criticKindName(k) == s)
+            return k;
+    }
+    pcbp_fatal("unknown critic kind '", s, "'");
+}
+
+FilteredPredictorPtr
+makeCritic(CriticKind kind, Budget b)
+{
+    const std::size_t i = static_cast<std::size_t>(b);
+    switch (kind) {
+      case CriticKind::TaggedGshare:
+        return std::make_unique<TaggedGshare>(tgshareSets[i], tgshareWays,
+                                              tgshareTagBits,
+                                              tgshareBorBits);
+      case CriticKind::FilteredPerceptron:
+        return std::make_unique<FilteredPerceptron>(
+            fpercCount[i], fpercHistory[i], fpercFilterSets[i],
+            fpercFilterWays, fpercTagBits, fpercFilterBorBits);
+      case CriticKind::UnfilteredPerceptron:
+        return std::make_unique<UnfilteredCritic>(
+            std::make_unique<Perceptron>(upercCount[i], upercHistory[i]));
+      case CriticKind::UnfilteredGshare:
+        return std::make_unique<UnfilteredCritic>(
+            std::make_unique<Gshare>(ugshareEntries[i],
+                                     ugshareHistory[i]));
+    }
+    pcbp_panic("bad CriticKind");
+}
+
+std::unique_ptr<ProphetCriticHybrid>
+makeHybrid(ProphetKind prophet_kind, Budget prophet_budget,
+           CriticKind critic_kind, Budget critic_budget,
+           unsigned future_bits)
+{
+    HybridConfig cfg;
+    cfg.numFutureBits = future_bits;
+    return std::make_unique<ProphetCriticHybrid>(
+        makeProphet(prophet_kind, prophet_budget),
+        makeCritic(critic_kind, critic_budget), cfg);
+}
+
+std::unique_ptr<ProphetCriticHybrid>
+makeProphetOnly(ProphetKind kind, Budget budget)
+{
+    HybridConfig cfg;
+    cfg.numFutureBits = 0;
+    return std::make_unique<ProphetCriticHybrid>(makeProphet(kind, budget),
+                                                 nullptr, cfg);
+}
+
+} // namespace pcbp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Critic configurations from Table 3 and convenience builders for
+ * whole prophet/critic hybrids.
+ */
+
+#ifndef PCBP_CORE_PRESETS_HH
+#define PCBP_CORE_PRESETS_HH
+
+#include <string>
+
+#include "core/prophet_critic.hh"
+#include "predictors/factory.hh"
+
+namespace pcbp
+{
+
+/** Critic kinds evaluated in the paper. */
+enum class CriticKind
+{
+    TaggedGshare,         // "t.gshare" in Figure 7
+    FilteredPerceptron,   // "f.perceptron" in Figure 7
+    UnfilteredPerceptron, // Figure 6(a)
+    UnfilteredGshare,     // extra ablation point
+};
+
+/** Kind as a string ("t.gshare", "f.perceptron", ...). */
+std::string criticKindName(CriticKind k);
+
+/** Parse a critic kind name (fatal on unknown). */
+CriticKind parseCriticKind(const std::string &s);
+
+/** Build a critic configured per Table 3 for the given budget. */
+FilteredPredictorPtr makeCritic(CriticKind kind, Budget b);
+
+/**
+ * Build a full prophet/critic hybrid:
+ * prophet of @p prophet_kind at @p prophet_budget, critic of
+ * @p critic_kind at @p critic_budget, using @p future_bits.
+ */
+std::unique_ptr<ProphetCriticHybrid>
+makeHybrid(ProphetKind prophet_kind, Budget prophet_budget,
+           CriticKind critic_kind, Budget critic_budget,
+           unsigned future_bits);
+
+/** Build a prophet-only "hybrid" (no critic), for baselines. */
+std::unique_ptr<ProphetCriticHybrid>
+makeProphetOnly(ProphetKind kind, Budget budget);
+
+} // namespace pcbp
+
+#endif // PCBP_CORE_PRESETS_HH

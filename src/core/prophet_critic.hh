@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The prophet/critic hybrid conditional branch predictor — the
+ * paper's primary contribution.
+ *
+ * The hybrid owns the live (speculative) BHR and BOR and exposes the
+ * hardware events of §3 and §5:
+ *
+ * - predictBranch(): the prophet predicts a branch; its prediction
+ *   is speculatively shifted into the BHR and into the critic's BOR
+ *   (§3.2), and the caller receives a checkpoint (§3.3).
+ * - critiqueBranch(): once the caller has gathered the required
+ *   future bits (the prophet's predictions for the branch and those
+ *   after it), the critic produces its critique from the
+ *   reconstructed BOR view.
+ * - overrideRedirect(): on a disagree critique, the speculative
+ *   registers are repaired to the checkpoint and the critic's final
+ *   prediction is inserted; the caller redirects the prophet down
+ *   the other path.
+ * - recoverMispredict(): on a resolved mispredict, same repair but
+ *   with the architectural outcome.
+ * - commitBranch(): non-speculative pattern-table update for the
+ *   prophet and critic training with the critique-time BOR value —
+ *   including its wrong-path future bits (§3.3).
+ */
+
+#ifndef PCBP_CORE_PROPHET_CRITIC_HH
+#define PCBP_CORE_PROPHET_CRITIC_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bor.hh"
+#include "core/critique.hh"
+#include "predictors/predictor.hh"
+
+namespace pcbp
+{
+
+/** Configuration of the hybrid's critique stage. */
+struct HybridConfig
+{
+    /**
+     * Future bits per critique, counting the branch's own prophet
+     * prediction as the first bit (Fig. 4). Zero reduces the hybrid
+     * to a conventional overriding predictor: the critic sees only
+     * history.
+     */
+    unsigned numFutureBits = 8;
+
+    /**
+     * §3.2: update the BHR/BOR speculatively at prediction time
+     * (the paper's design, and what prior work shows is needed).
+     * When false — an ablation — the registers advance only at
+     * commit, so predictions see stale history.
+     */
+    bool speculativeHistoryUpdate = true;
+
+    /**
+     * §3.3: repair the BHR/BOR from the checkpoint on a mispredict.
+     * When false — an ablation — recovery only redirects fetch and
+     * the polluted history bits stay.
+     */
+    bool repairHistory = true;
+};
+
+/** What the critic said about one prophet prediction. */
+struct CritiqueDecision
+{
+    /** The critic provided an explicit critique (filter hit). */
+    bool provided = false;
+    /** Final prediction for the branch. */
+    bool finalPrediction = false;
+    /** provided && final != prophet's prediction. */
+    bool overrode = false;
+    /** The BOR value the critique read; needed for commit training. */
+    HistoryRegister borAtCritique;
+};
+
+class ProphetCriticHybrid
+{
+  public:
+    /**
+     * @param prophet Conventional predictor playing the prophet.
+     * @param critic Critic-side predictor (filtered or wrapped
+     *        unfiltered); may be null for a prophet-only predictor.
+     * @param config Critique-stage configuration.
+     */
+    ProphetCriticHybrid(DirectionPredictorPtr prophet,
+                        FilteredPredictorPtr critic, HybridConfig config);
+
+    /**
+     * The prophet predicts the branch at @p pc. Checkpoints the
+     * speculative registers into @p ctx, then shifts the prediction
+     * into both BHR and BOR.
+     *
+     * @return The prophet's prediction.
+     */
+    bool predictBranch(Addr pc, BranchContext &ctx);
+
+    /**
+     * Produce the critique for a branch previously predicted with
+     * context @p ctx.
+     *
+     * @param pc Branch address.
+     * @param ctx Checkpoint returned by predictBranch.
+     * @param prophet_pred The prophet's prediction for this branch
+     *        (the fallback final prediction on a filter miss).
+     * @param future_bits The future bits gathered for the branch,
+     *        oldest first — normally the prophet's predictions for
+     *        this branch and the ones after it (so future_bits[0] ==
+     *        prophet_pred), but ablations may feed other bit
+     *        streams. The caller supplies however many it has
+     *        gathered (§5 allows critiquing with fewer bits when the
+     *        cache is waiting); empty when numFutureBits == 0.
+     * @return The critique decision; when no critic is configured,
+     *         the final prediction is the prophet's.
+     */
+    CritiqueDecision critiqueBranch(Addr pc, const BranchContext &ctx,
+                                    bool prophet_pred,
+                                    const std::vector<bool> &future_bits);
+
+    /**
+     * Critic override (§5): repair BHR/BOR to the checkpoint and
+     * insert the critic's final prediction. The caller must squash
+     * every younger prediction.
+     */
+    void overrideRedirect(const BranchContext &ctx, bool final_prediction);
+
+    /**
+     * Mispredict recovery (§3.3): repair BHR/BOR to the checkpoint
+     * and insert the resolved outcome.
+     */
+    void recoverMispredict(const BranchContext &ctx, bool outcome);
+
+    /**
+     * Commit-time, non-speculative update (§3.2, §3.3).
+     *
+     * @param pc Branch address.
+     * @param ctx The branch's checkpoint (prophet updates with its
+     *        prediction-time history).
+     * @param decision The critique decision, if the branch was
+     *        critiqued before it resolved.
+     * @param outcome Architectural direction of the branch.
+     */
+    void commitBranch(Addr pc, const BranchContext &ctx,
+                      const std::optional<CritiqueDecision> &decision,
+                      bool outcome);
+
+    /** Reset all predictor and register state. */
+    void reset();
+
+    /** Combined storage of prophet + critic. */
+    std::size_t sizeBits() const;
+    std::size_t sizeBytes() const { return (sizeBits() + 7) / 8; }
+
+    std::string name() const;
+
+    const DirectionPredictor &prophetRef() const { return *prophet; }
+    bool hasCritic() const { return critic != nullptr; }
+    unsigned numFutureBits() const { return cfg.numFutureBits; }
+
+    /** Live speculative registers (exposed for tests/examples). */
+    const HistoryRegister &bhr() const { return liveBhr; }
+    const HistoryRegister &bor() const { return liveBor; }
+
+  private:
+    DirectionPredictorPtr prophet;
+    FilteredPredictorPtr critic;
+    HybridConfig cfg;
+    HistoryRegister liveBhr;
+    HistoryRegister liveBor;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_CORE_PROPHET_CRITIC_HH

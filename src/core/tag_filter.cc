@@ -1,0 +1,103 @@
+#include "core/tag_filter.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+TagFilter::TagFilter(std::size_t num_sets, unsigned num_ways,
+                     unsigned tag_bits, unsigned bor_bits)
+    : table(num_sets * num_ways),
+      numSets(num_sets),
+      numWays(num_ways),
+      numTagBits(tag_bits),
+      numBorBits(bor_bits),
+      indexBits(log2Floor(num_sets))
+{
+    pcbp_assert(isPowerOfTwo(num_sets), "filter sets must be 2^n");
+    pcbp_assert(num_ways >= 1 && num_ways <= 16);
+    pcbp_assert(tag_bits >= 4 && tag_bits <= 16);
+    pcbp_assert(bor_bits <= 64);
+}
+
+std::size_t
+TagFilter::indexOf(Addr pc, const HistoryRegister &bor) const
+{
+    // First hash: XOR of folded address and folded BOR value.
+    const std::uint64_t b = bor.low(numBorBits);
+    return (foldBits(pc >> 2, indexBits) ^ foldBits(b, indexBits)) &
+           maskBits(indexBits);
+}
+
+std::uint16_t
+TagFilter::tagOf(Addr pc, const HistoryRegister &bor) const
+{
+    // Second, decorrelated hash: mix the combination so that two
+    // (pc, BOR) pairs landing in the same set rarely share a tag.
+    const std::uint64_t b = bor.low(numBorBits);
+    const std::uint64_t h = mix64((pc >> 2) * 0x9e3779b97f4a7c15ULL ^
+                                  (b << 1));
+    return static_cast<std::uint16_t>(foldBits(h, numTagBits));
+}
+
+TagFilter::Result
+TagFilter::probe(Addr pc, const HistoryRegister &bor) const
+{
+    const std::size_t set = indexOf(pc, bor);
+    const std::uint16_t tag = tagOf(pc, bor);
+    for (unsigned w = 0; w < numWays; ++w) {
+        const std::size_t e = set * numWays + w;
+        if (table[e].valid && table[e].tag == tag)
+            return {true, e};
+    }
+    return {false, 0};
+}
+
+void
+TagFilter::touch(std::size_t entry)
+{
+    pcbp_assert(entry < table.size());
+    table[entry].lastUse = ++tick;
+}
+
+std::size_t
+TagFilter::allocate(Addr pc, const HistoryRegister &bor)
+{
+    const std::size_t set = indexOf(pc, bor);
+    const std::uint16_t tag = tagOf(pc, bor);
+
+    std::size_t victim = set * numWays;
+    for (unsigned w = 0; w < numWays; ++w) {
+        const std::size_t e = set * numWays + w;
+        if (!table[e].valid) {
+            victim = e;
+            break;
+        }
+        if (table[e].lastUse < table[victim].lastUse)
+            victim = e;
+    }
+    table[victim].valid = true;
+    table[victim].tag = tag;
+    table[victim].lastUse = ++tick;
+    return victim;
+}
+
+std::size_t
+TagFilter::sizeBits() const
+{
+    unsigned lru_bits = 0;
+    while ((1u << lru_bits) < numWays)
+        ++lru_bits;
+    return table.size() * (1 + numTagBits + lru_bits);
+}
+
+void
+TagFilter::reset()
+{
+    for (auto &e : table)
+        e = Entry{};
+    tick = 0;
+}
+
+} // namespace pcbp

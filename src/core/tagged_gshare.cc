@@ -1,0 +1,59 @@
+#include "core/tagged_gshare.hh"
+
+namespace pcbp
+{
+
+TaggedGshare::TaggedGshare(std::size_t num_sets, unsigned num_ways,
+                           unsigned tag_bits, unsigned bor_bits)
+    : filter(num_sets, num_ways, tag_bits, bor_bits),
+      counters(filter.entries(), SatCounter(2, 1))
+{
+}
+
+CritiqueResult
+TaggedGshare::critique(Addr pc, const HistoryRegister &bor)
+{
+    const auto r = filter.probe(pc, bor);
+    if (!r.hit)
+        return {false, false};
+    return {true, counters[r.entry].taken()};
+}
+
+void
+TaggedGshare::train(Addr pc, const HistoryRegister &bor, bool taken,
+                    bool mispredicted)
+{
+    const auto r = filter.probe(pc, bor);
+    if (r.hit) {
+        counters[r.entry].update(taken);
+        filter.touch(r.entry);
+    } else if (mispredicted) {
+        // Insert the (branch address, BOR value) context so the next
+        // time it recurs the critic's prediction is used, and
+        // initialize the counter toward the resolved outcome (§4).
+        const std::size_t e = filter.allocate(pc, bor);
+        counters[e].setWeak(taken);
+    }
+}
+
+void
+TaggedGshare::reset()
+{
+    filter.reset();
+    for (auto &c : counters)
+        c.set(1);
+}
+
+std::size_t
+TaggedGshare::sizeBits() const
+{
+    return filter.sizeBits() + counters.size() * 2;
+}
+
+std::string
+TaggedGshare::name() const
+{
+    return "t.gshare-" + std::to_string(sizeBytes() / 1024) + "KB";
+}
+
+} // namespace pcbp

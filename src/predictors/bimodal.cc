@@ -1,0 +1,61 @@
+#include "predictors/bimodal.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+Bimodal::Bimodal(std::size_t num_entries, unsigned counter_bits)
+    : table(num_entries, SatCounter(counter_bits, 0)),
+      ctrBits(counter_bits),
+      indexBits(log2Floor(num_entries))
+{
+    pcbp_assert(isPowerOfTwo(num_entries), "bimodal size must be 2^n");
+}
+
+std::size_t
+Bimodal::index(Addr pc) const
+{
+    // Drop the low bits that are constant across instructions.
+    return (pc >> 2) & maskBits(indexBits);
+}
+
+bool
+Bimodal::predict(Addr pc, const HistoryRegister &)
+{
+    return table[index(pc)].taken();
+}
+
+void
+Bimodal::update(Addr pc, const HistoryRegister &, bool taken)
+{
+    table[index(pc)].update(taken);
+}
+
+void
+Bimodal::reset()
+{
+    for (auto &c : table)
+        c.set(0);
+}
+
+std::size_t
+Bimodal::sizeBits() const
+{
+    return table.size() * ctrBits;
+}
+
+std::string
+Bimodal::name() const
+{
+    return "bimodal-" + std::to_string(table.size());
+}
+
+SatCounter &
+Bimodal::counterFor(Addr pc)
+{
+    return table[index(pc)];
+}
+
+} // namespace pcbp

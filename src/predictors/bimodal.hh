@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bimodal predictor: a table of 2-bit counters indexed by branch
+ * address. The simplest dynamic predictor; also the BIM bank of
+ * 2Bc-gskew and the choice table of YAGS/tournament predictors.
+ */
+
+#ifndef PCBP_PREDICTORS_BIMODAL_HH
+#define PCBP_PREDICTORS_BIMODAL_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace pcbp
+{
+
+class Bimodal : public DirectionPredictor
+{
+  public:
+    /**
+     * @param num_entries Table size; must be a power of two.
+     * @param counter_bits Width of each saturating counter.
+     */
+    explicit Bimodal(std::size_t num_entries, unsigned counter_bits = 2);
+
+    bool predict(Addr pc, const HistoryRegister &hist) override;
+    void update(Addr pc, const HistoryRegister &hist, bool taken) override;
+    void reset() override;
+    std::size_t sizeBits() const override;
+    unsigned historyLength() const override { return 0; }
+    std::string name() const override;
+
+    /** Direct access for composite predictors (gskew BIM bank). */
+    SatCounter &counterFor(Addr pc);
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<SatCounter> table;
+    unsigned ctrBits;
+    unsigned indexBits;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_PREDICTORS_BIMODAL_HH

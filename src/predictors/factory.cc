@@ -1,0 +1,206 @@
+#include "predictors/factory.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/fusion.hh"
+#include "predictors/gshare.hh"
+#include "predictors/gskew.hh"
+#include "predictors/local_predictor.hh"
+#include "predictors/perceptron.hh"
+#include "predictors/skewed_perceptron.hh"
+#include "predictors/static_pred.hh"
+#include "predictors/tournament.hh"
+#include "predictors/two_level.hh"
+#include "predictors/yags.hh"
+
+namespace pcbp
+{
+
+namespace
+{
+
+constexpr std::array<std::size_t, 5> budgetBytesTable = {
+    2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024,
+};
+
+// Table 3: gshare row.
+constexpr std::array<std::size_t, 5> gshareEntries = {
+    8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024,
+};
+constexpr std::array<unsigned, 5> gshareHistory = {13, 14, 15, 16, 17};
+
+// Table 3: perceptron row.
+constexpr std::array<std::size_t, 5> perceptronCount = {
+    113, 163, 282, 348, 565,
+};
+constexpr std::array<unsigned, 5> perceptronHistory = {17, 24, 28, 47, 57};
+
+// Table 3: 2Bc-gskew row (entries per table).
+constexpr std::array<std::size_t, 5> gskewEntries = {
+    2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024,
+};
+constexpr std::array<unsigned, 5> gskewHistory = {11, 12, 13, 14, 15};
+
+std::size_t
+budgetIndex(Budget b)
+{
+    return static_cast<std::size_t>(b);
+}
+
+} // namespace
+
+std::size_t
+budgetBytes(Budget b)
+{
+    return budgetBytesTable[budgetIndex(b)];
+}
+
+std::string
+budgetName(Budget b)
+{
+    return std::to_string(budgetBytes(b) / 1024) + "KB";
+}
+
+Budget
+parseBudget(const std::string &s)
+{
+    for (Budget b : {Budget::B2KB, Budget::B4KB, Budget::B8KB,
+                     Budget::B16KB, Budget::B32KB}) {
+        if (budgetName(b) == s)
+            return b;
+    }
+    pcbp_fatal("unknown budget '", s, "' (expected 2KB..32KB)");
+}
+
+std::string
+prophetKindName(ProphetKind k)
+{
+    switch (k) {
+      case ProphetKind::Gshare: return "gshare";
+      case ProphetKind::GSkew: return "2Bc-gskew";
+      case ProphetKind::Perceptron: return "perceptron";
+      case ProphetKind::Bimodal: return "bimodal";
+      case ProphetKind::TwoLevel: return "GAs";
+      case ProphetKind::Yags: return "yags";
+      case ProphetKind::Local: return "local";
+      case ProphetKind::Tournament: return "tournament";
+      case ProphetKind::SkewedPerceptron: return "skewed-perceptron";
+      case ProphetKind::Fusion: return "fusion";
+      case ProphetKind::AlwaysTaken: return "always-taken";
+      case ProphetKind::AlwaysNotTaken: return "always-not-taken";
+    }
+    pcbp_panic("bad ProphetKind");
+}
+
+ProphetKind
+parseProphetKind(const std::string &s)
+{
+    for (ProphetKind k : {ProphetKind::Gshare, ProphetKind::GSkew,
+                          ProphetKind::Perceptron, ProphetKind::Bimodal,
+                          ProphetKind::TwoLevel, ProphetKind::Yags,
+                          ProphetKind::Local, ProphetKind::Tournament,
+                          ProphetKind::SkewedPerceptron,
+                          ProphetKind::Fusion,
+                          ProphetKind::AlwaysTaken,
+                          ProphetKind::AlwaysNotTaken}) {
+        if (prophetKindName(k) == s)
+            return k;
+    }
+    pcbp_fatal("unknown predictor kind '", s, "'");
+}
+
+DirectionPredictorPtr
+makeProphet(ProphetKind kind, Budget b)
+{
+    const std::size_t i = budgetIndex(b);
+    switch (kind) {
+      case ProphetKind::Gshare:
+        return std::make_unique<Gshare>(gshareEntries[i],
+                                        gshareHistory[i]);
+      case ProphetKind::GSkew:
+        return std::make_unique<GSkew>(gskewEntries[i], gskewHistory[i]);
+      case ProphetKind::Perceptron:
+        return std::make_unique<Perceptron>(perceptronCount[i],
+                                            perceptronHistory[i]);
+      case ProphetKind::Bimodal:
+        // budget / 2 bits per entry.
+        return std::make_unique<Bimodal>(budgetBytes(b) * 4);
+      case ProphetKind::TwoLevel: {
+        // Same PHT size as gshare at this budget, split addr/hist.
+        const unsigned total = log2Floor(gshareEntries[i]);
+        const unsigned hist = gshareHistory[i] < total
+                                  ? gshareHistory[i] - 4
+                                  : total / 2;
+        return std::make_unique<TwoLevel>(total - hist, hist);
+      }
+      case ProphetKind::Yags: {
+        // Roughly: 1/4 budget on choice, rest split across the two
+        // direction caches (11 bits/entry with 8-bit tags).
+        const std::size_t bits = budgetBytes(b) * 8;
+        const std::size_t choice_entries =
+            std::size_t(1) << log2Floor(bits / 4 / 2);
+        const std::size_t cache_entries =
+            std::size_t(1) << log2Floor((bits - choice_entries * 2) /
+                                        (2 * 11));
+        return std::make_unique<Yags>(choice_entries, cache_entries, 8,
+                                      gshareHistory[i]);
+      }
+      case ProphetKind::Local: {
+        // Half the budget on 12-bit local histories, half on the PHT.
+        const std::size_t bits = budgetBytes(b) * 8;
+        const std::size_t nhist =
+            std::size_t(1) << log2Floor(bits / 2 / 12);
+        return std::make_unique<LocalPredictor>(nhist, 12);
+      }
+      case ProphetKind::Tournament: {
+        // Classic bimodal + gshare pair: half the bit budget on the
+        // gshare PHT, a quarter each on the bimodal and the chooser.
+        const std::size_t bytes = budgetBytes(b);
+        auto c0 = std::make_unique<Bimodal>(bytes); // bytes entries
+        const std::size_t gshare_entries = bytes * 2;
+        const unsigned hist =
+            std::min<unsigned>(log2Floor(gshare_entries), 17);
+        auto c1 = std::make_unique<Gshare>(gshare_entries, hist);
+        return std::make_unique<Tournament>(std::move(c0), std::move(c1),
+                                            bytes);
+      }
+      case ProphetKind::SkewedPerceptron: {
+        // Three banks sharing the budget at the Table 3 perceptron
+        // history length for this budget class.
+        const unsigned hist = perceptronHistory[i];
+        const std::size_t rows =
+            std::max<std::size_t>(1, budgetBytes(b) / (3 * (hist + 1)));
+        return std::make_unique<SkewedPerceptron>(rows, hist);
+      }
+      case ProphetKind::Fusion: {
+        // Bimodal + gshare components with a fusion table: half the
+        // budget on the bimodal, a quarter each on gshare and the
+        // fusion counters.
+        const std::size_t bytes = budgetBytes(b);
+        std::vector<DirectionPredictorPtr> comps;
+        comps.push_back(std::make_unique<Bimodal>(bytes * 2));
+        comps.push_back(std::make_unique<Gshare>(
+            bytes, std::min<unsigned>(log2Floor(bytes), 17)));
+        return std::make_unique<FusionHybrid>(std::move(comps), bytes);
+      }
+      case ProphetKind::AlwaysTaken:
+        return std::make_unique<StaticPredictor>(true);
+      case ProphetKind::AlwaysNotTaken:
+        return std::make_unique<StaticPredictor>(false);
+    }
+    pcbp_panic("bad ProphetKind");
+}
+
+DirectionPredictorPtr
+makeProphet(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        return makeProphet(parseProphetKind(spec), Budget::B8KB);
+    return makeProphet(parseProphetKind(spec.substr(0, colon)),
+                       parseBudget(spec.substr(colon + 1)));
+}
+
+} // namespace pcbp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Factory for prophet-capable predictors, encoding the paper's
+ * Table 3 configurations for hardware budgets from 2KB to 32KB.
+ */
+
+#ifndef PCBP_PREDICTORS_FACTORY_HH
+#define PCBP_PREDICTORS_FACTORY_HH
+
+#include <string>
+
+#include "predictors/predictor.hh"
+
+namespace pcbp
+{
+
+/** Hardware budgets from Table 3. */
+enum class Budget { B2KB, B4KB, B8KB, B16KB, B32KB };
+
+/** Budget in bytes. */
+std::size_t budgetBytes(Budget b);
+
+/** Budget as a short string, e.g.\ "8KB". */
+std::string budgetName(Budget b);
+
+/** Parse "2KB".."32KB" (fatal on anything else). */
+Budget parseBudget(const std::string &s);
+
+/** Prophet-capable predictor kinds. */
+enum class ProphetKind
+{
+    Gshare,
+    GSkew,
+    Perceptron,
+    Bimodal,        // extension baselines below
+    TwoLevel,
+    Yags,
+    Local,
+    Tournament,
+    SkewedPerceptron, // Seznec redundant-history (paper Sec. 9)
+    Fusion,           // Loh-Henry fusion hybrid (paper Sec. 2)
+    AlwaysTaken,
+    AlwaysNotTaken,
+};
+
+/** Kind as a string ("gshare", "2Bc-gskew", "perceptron", ...). */
+std::string prophetKindName(ProphetKind k);
+
+/** Parse a kind name (fatal on unknown). */
+ProphetKind parseProphetKind(const std::string &s);
+
+/**
+ * Build a predictor of @p kind configured per Table 3 for budget
+ * @p b. Non-paper kinds get budget-matched configurations.
+ */
+DirectionPredictorPtr makeProphet(ProphetKind kind, Budget b);
+
+/** Build from a spec string like "gshare:8KB". */
+DirectionPredictorPtr makeProphet(const std::string &spec);
+
+} // namespace pcbp
+
+#endif // PCBP_PREDICTORS_FACTORY_HH

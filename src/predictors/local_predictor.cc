@@ -1,0 +1,63 @@
+#include "predictors/local_predictor.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+LocalPredictor::LocalPredictor(std::size_t num_histories,
+                               unsigned local_bits)
+    : localHist(num_histories, 0),
+      pht(std::size_t(1) << local_bits, SatCounter(2, 1)),
+      localBits(local_bits),
+      histIndexBits(log2Floor(num_histories))
+{
+    pcbp_assert(isPowerOfTwo(num_histories));
+    pcbp_assert(local_bits >= 1 && local_bits <= 20);
+}
+
+std::size_t
+LocalPredictor::histIndex(Addr pc) const
+{
+    return foldBits(pc >> 2, histIndexBits);
+}
+
+bool
+LocalPredictor::predict(Addr pc, const HistoryRegister &)
+{
+    const std::uint32_t lh =
+        localHist[histIndex(pc)] & maskBits(localBits);
+    return pht[lh].taken();
+}
+
+void
+LocalPredictor::update(Addr pc, const HistoryRegister &, bool taken)
+{
+    std::uint32_t &lh = localHist[histIndex(pc)];
+    pht[lh & maskBits(localBits)].update(taken);
+    lh = ((lh << 1) | (taken ? 1 : 0)) & maskBits(localBits);
+}
+
+void
+LocalPredictor::reset()
+{
+    std::fill(localHist.begin(), localHist.end(), 0);
+    for (auto &c : pht)
+        c.set(1);
+}
+
+std::size_t
+LocalPredictor::sizeBits() const
+{
+    return localHist.size() * localBits + pht.size() * 2;
+}
+
+std::string
+LocalPredictor::name() const
+{
+    return "local-" + std::to_string(localHist.size()) + "x" +
+           std::to_string(localBits);
+}
+
+} // namespace pcbp

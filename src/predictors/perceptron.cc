@@ -1,0 +1,86 @@
+#include "predictors/perceptron.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+Perceptron::Perceptron(std::size_t num_perceptrons, unsigned history_bits)
+    : weights(num_perceptrons * (history_bits + 1), 0),
+      numPerceptrons(num_perceptrons),
+      histBits(history_bits),
+      theta(static_cast<int>(1.93 * history_bits + 14))
+{
+    pcbp_assert(num_perceptrons > 0);
+    pcbp_assert(history_bits >= 1 &&
+                history_bits <= HistoryRegister::capacity);
+}
+
+std::size_t
+Perceptron::select(Addr pc) const
+{
+    return (pc >> 2) % numPerceptrons;
+}
+
+int
+Perceptron::output(Addr pc, const HistoryRegister &hist) const
+{
+    const std::int8_t *w = &weights[select(pc) * (histBits + 1)];
+    int sum = w[0]; // bias weight, input fixed at +1
+    for (unsigned i = 0; i < histBits; ++i)
+        sum += hist.bit(i) ? w[i + 1] : -w[i + 1];
+    return sum;
+}
+
+bool
+Perceptron::predict(Addr pc, const HistoryRegister &hist)
+{
+    return output(pc, hist) >= 0;
+}
+
+void
+Perceptron::update(Addr pc, const HistoryRegister &hist, bool taken)
+{
+    const int out = output(pc, hist);
+    const bool pred = out >= 0;
+    // Train on mispredict or low confidence (|out| <= theta).
+    if (pred == taken && std::abs(out) > theta)
+        return;
+
+    std::int8_t *w = &weights[select(pc) * (histBits + 1)];
+    auto bump = [](std::int8_t &weight, bool up) {
+        if (up) {
+            if (weight < 127)
+                ++weight;
+        } else {
+            if (weight > -127)
+                --weight;
+        }
+    };
+    bump(w[0], taken);
+    for (unsigned i = 0; i < histBits; ++i)
+        bump(w[i + 1], hist.bit(i) == taken);
+}
+
+void
+Perceptron::reset()
+{
+    std::fill(weights.begin(), weights.end(), 0);
+}
+
+std::size_t
+Perceptron::sizeBits() const
+{
+    return weights.size() * 8;
+}
+
+std::string
+Perceptron::name() const
+{
+    return "perceptron-" + std::to_string(numPerceptrons) + "x" +
+           std::to_string(histBits);
+}
+
+} // namespace pcbp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Perceptron predictor (Jiménez & Lin). A pool of perceptrons is
+ * selected by branch address; the chosen perceptron computes a dot
+ * product between its signed weights and the (bipolar) history bits.
+ * Its key property — and the reason the paper favors it as a critic
+ * component — is that it scales to much longer histories than
+ * counter-table schemes, so future bits can be added to its input
+ * without sacrificing as much history.
+ */
+
+#ifndef PCBP_PREDICTORS_PERCEPTRON_HH
+#define PCBP_PREDICTORS_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predictors/predictor.hh"
+
+namespace pcbp
+{
+
+class Perceptron : public DirectionPredictor
+{
+  public:
+    /**
+     * @param num_perceptrons Pool size (any positive value; selection
+     *        is modulo, as in the original paper).
+     * @param history_bits Number of history bits (weights per
+     *        perceptron is history_bits + 1 for the bias weight).
+     */
+    Perceptron(std::size_t num_perceptrons, unsigned history_bits);
+
+    bool predict(Addr pc, const HistoryRegister &hist) override;
+    void update(Addr pc, const HistoryRegister &hist, bool taken) override;
+    void reset() override;
+    std::size_t sizeBits() const override;
+    unsigned historyLength() const override { return histBits; }
+    std::string name() const override;
+
+    /**
+     * Dot-product output for the branch; the prediction is
+     * output >= 0. Exposed so tests and confidence-style clients can
+     * inspect the margin.
+     */
+    int output(Addr pc, const HistoryRegister &hist) const;
+
+    /** Training threshold theta = floor(1.93 * h + 14). */
+    int threshold() const { return theta; }
+
+  private:
+    std::size_t select(Addr pc) const;
+
+    /** Weights, laid out per perceptron: [bias, w1 .. wh]. */
+    std::vector<std::int8_t> weights;
+    std::size_t numPerceptrons;
+    unsigned histBits;
+    int theta;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_PREDICTORS_PERCEPTRON_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Abstract interfaces for branch direction predictors.
+ *
+ * Two kinds of components exist in a prophet/critic hybrid:
+ *
+ * - DirectionPredictor: a conventional history-based predictor. It
+ *   is stateless with respect to history: the caller (the hybrid or
+ *   the simulator driver) owns the branch history register and
+ *   passes it in, which centralizes speculative update and
+ *   checkpoint/repair exactly as the paper describes (§3.2, §3.3).
+ *
+ * - FilteredPredictor: a critic-side predictor that may decline to
+ *   provide a critique (tag miss in its filter, §4). Its history
+ *   input is the branch outcome register (BOR), which contains both
+ *   history and future bits.
+ */
+
+#ifndef PCBP_PREDICTORS_PREDICTOR_HH
+#define PCBP_PREDICTORS_PREDICTOR_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/history_register.hh"
+#include "common/types.hh"
+
+namespace pcbp
+{
+
+/**
+ * Interface for conventional direction predictors (prophets and
+ * unfiltered critics).
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /**
+     * Predict the direction of the branch at @p pc.
+     *
+     * @param pc Branch address.
+     * @param hist History context (BHR for prophets; BOR for
+     *        unfiltered critics).
+     * @return true for taken.
+     */
+    virtual bool predict(Addr pc, const HistoryRegister &hist) = 0;
+
+    /**
+     * Train the pattern tables with the resolved outcome. Called
+     * non-speculatively at commit with the same history context that
+     * produced the prediction (§3.2).
+     */
+    virtual void update(Addr pc, const HistoryRegister &hist,
+                        bool taken) = 0;
+
+    /** Clear all prediction state. */
+    virtual void reset() = 0;
+
+    /** Storage cost in bits (counts counters, weights, tags, LRU). */
+    virtual std::size_t sizeBits() const = 0;
+
+    /** Number of history bits this predictor reads. */
+    virtual unsigned historyLength() const = 0;
+
+    /** Human-readable name, e.g.\ "gshare-8KB". */
+    virtual std::string name() const = 0;
+
+    /** Storage cost in bytes, rounded up. */
+    std::size_t sizeBytes() const { return (sizeBits() + 7) / 8; }
+};
+
+/** Result of asking a filtered critic for a critique. */
+struct CritiqueResult
+{
+    /** False on a filter (tag) miss: implicit agreement. */
+    bool provided = false;
+    /** Direction prediction; meaningful only when provided. */
+    bool taken = false;
+};
+
+/**
+ * Interface for critic-side predictors with a built-in filter.
+ */
+class FilteredPredictor
+{
+  public:
+    virtual ~FilteredPredictor() = default;
+
+    /**
+     * Query the critic. A tag miss yields provided = false, meaning
+     * the critic implicitly agrees with the prophet.
+     */
+    virtual CritiqueResult critique(Addr pc,
+                                    const HistoryRegister &bor) = 0;
+
+    /**
+     * Commit-time training (§3.2, §4). Trains the prediction
+     * structures on a filter hit; allocates a new filter entry when
+     * the branch missed the filter and the final prediction was
+     * wrong.
+     *
+     * @param pc Branch address.
+     * @param bor The BOR value used when the critique was made.
+     * @param taken Resolved direction of the branch.
+     * @param mispredicted True when the final prediction was wrong.
+     */
+    virtual void train(Addr pc, const HistoryRegister &bor, bool taken,
+                       bool mispredicted) = 0;
+
+    /** Clear all state. */
+    virtual void reset() = 0;
+
+    /** Storage cost in bits. */
+    virtual std::size_t sizeBits() const = 0;
+
+    /** Number of BOR bits this critic reads (history + future). */
+    virtual unsigned borBits() const = 0;
+
+    /** Human-readable name. */
+    virtual std::string name() const = 0;
+
+    std::size_t sizeBytes() const { return (sizeBits() + 7) / 8; }
+};
+
+using DirectionPredictorPtr = std::unique_ptr<DirectionPredictor>;
+using FilteredPredictorPtr = std::unique_ptr<FilteredPredictor>;
+
+} // namespace pcbp
+
+#endif // PCBP_PREDICTORS_PREDICTOR_HH

@@ -1,0 +1,115 @@
+#include "predictors/skewed_perceptron.hh"
+
+#include <cstdlib>
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+SkewedPerceptron::SkewedPerceptron(std::size_t rows_per_bank,
+                                   unsigned history_bits)
+    : weights(numBanks * rows_per_bank * (history_bits + 1), 0),
+      rowsPerBank(rows_per_bank),
+      histBits(history_bits),
+      theta(static_cast<int>(1.93 * history_bits + 14))
+{
+    pcbp_assert(rows_per_bank > 0);
+    pcbp_assert(history_bits >= 1 &&
+                history_bits <= HistoryRegister::capacity);
+}
+
+std::size_t
+SkewedPerceptron::rowOf(unsigned bank, Addr pc,
+                        const HistoryRegister &hist) const
+{
+    // Bank 0: address only. Banks 1 and 2: decorrelated hashes of
+    // the address plus a short history slice, so two branches that
+    // alias in one bank are spread apart in the others. mix64 with
+    // per-bank multipliers gives full-avalanche decorrelation (a
+    // single LFSR skew step preserves power-of-two address strides).
+    const std::uint64_t a = pc >> 2;
+    std::uint64_t key;
+    switch (bank) {
+      case 0:
+        key = a;
+        break;
+      case 1:
+        key = mix64(a * 0x9e3779b97f4a7c15ULL) ^ hist.low(8);
+        break;
+      default:
+        key = mix64(a * 0xc2b2ae3d27d4eb4fULL) ^ (hist.low(16) >> 8);
+        break;
+    }
+    return key % rowsPerBank;
+}
+
+int
+SkewedPerceptron::output(Addr pc, const HistoryRegister &hist) const
+{
+    int sum = 0;
+    for (unsigned b = 0; b < numBanks; ++b) {
+        const std::int8_t *w =
+            &weights[(b * rowsPerBank + rowOf(b, pc, hist)) *
+                     (histBits + 1)];
+        sum += w[0];
+        for (unsigned i = 0; i < histBits; ++i)
+            sum += hist.bit(i) ? w[i + 1] : -w[i + 1];
+    }
+    return sum;
+}
+
+bool
+SkewedPerceptron::predict(Addr pc, const HistoryRegister &hist)
+{
+    return output(pc, hist) >= 0;
+}
+
+void
+SkewedPerceptron::update(Addr pc, const HistoryRegister &hist, bool taken)
+{
+    const int out = output(pc, hist);
+    const bool pred = out >= 0;
+    if (pred == taken && std::abs(out) > theta)
+        return;
+
+    auto bump = [](std::int8_t &weight, bool up) {
+        if (up) {
+            if (weight < 127)
+                ++weight;
+        } else {
+            if (weight > -127)
+                --weight;
+        }
+    };
+    for (unsigned b = 0; b < numBanks; ++b) {
+        std::int8_t *w =
+            &weights[(b * rowsPerBank + rowOf(b, pc, hist)) *
+                     (histBits + 1)];
+        bump(w[0], taken);
+        for (unsigned i = 0; i < histBits; ++i)
+            bump(w[i + 1], hist.bit(i) == taken);
+    }
+}
+
+void
+SkewedPerceptron::reset()
+{
+    std::fill(weights.begin(), weights.end(), 0);
+}
+
+std::size_t
+SkewedPerceptron::sizeBits() const
+{
+    return weights.size() * 8;
+}
+
+std::string
+SkewedPerceptron::name() const
+{
+    return "skewed-perceptron-" + std::to_string(numBanks) + "x" +
+           std::to_string(rowsPerBank) + "x" + std::to_string(histBits);
+}
+
+} // namespace pcbp

@@ -1,0 +1,3 @@
+// StaticPredictor is header-only; this translation unit exists to keep
+// one .cc per module and to anchor the vtable.
+#include "predictors/static_pred.hh"

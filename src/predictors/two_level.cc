@@ -1,0 +1,58 @@
+#include "predictors/two_level.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+TwoLevel::TwoLevel(unsigned addr_bits, unsigned history_bits)
+    : table(std::size_t(1) << (addr_bits + history_bits),
+            SatCounter(2, 1)),
+      addrBits(addr_bits),
+      histBits(history_bits)
+{
+    pcbp_assert(addr_bits + history_bits <= 28,
+                "two-level PHT would exceed 64M entries");
+}
+
+std::size_t
+TwoLevel::index(Addr pc, const HistoryRegister &hist) const
+{
+    const std::uint64_t a = foldBits(pc >> 2, addrBits);
+    return (a << histBits) | hist.low(histBits);
+}
+
+bool
+TwoLevel::predict(Addr pc, const HistoryRegister &hist)
+{
+    return table[index(pc, hist)].taken();
+}
+
+void
+TwoLevel::update(Addr pc, const HistoryRegister &hist, bool taken)
+{
+    table[index(pc, hist)].update(taken);
+}
+
+void
+TwoLevel::reset()
+{
+    for (auto &c : table)
+        c.set(1);
+}
+
+std::size_t
+TwoLevel::sizeBits() const
+{
+    return table.size() * 2;
+}
+
+std::string
+TwoLevel::name() const
+{
+    return "GAs-" + std::to_string(addrBits) + "+" +
+           std::to_string(histBits);
+}
+
+} // namespace pcbp

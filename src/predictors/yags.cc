@@ -1,0 +1,107 @@
+#include "predictors/yags.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+Yags::Yags(std::size_t choice_entries, std::size_t cache_entries,
+           unsigned tag_bits, unsigned history_bits)
+    : choice(choice_entries, SatCounter(2, 1)),
+      takenCache(cache_entries),
+      notTakenCache(cache_entries),
+      tagBits(tag_bits),
+      histBits(history_bits),
+      choiceIndexBits(log2Floor(choice_entries)),
+      cacheIndexBits(log2Floor(cache_entries))
+{
+    pcbp_assert(isPowerOfTwo(choice_entries) &&
+                isPowerOfTwo(cache_entries));
+    pcbp_assert(tag_bits >= 4 && tag_bits <= 16);
+}
+
+std::size_t
+Yags::cacheIndex(Addr pc, const HistoryRegister &hist) const
+{
+    const std::uint64_t h = hist.foldedLow(histBits, cacheIndexBits);
+    return (foldBits(pc >> 2, cacheIndexBits) ^ h) &
+           maskBits(cacheIndexBits);
+}
+
+std::uint16_t
+Yags::tagOf(Addr pc) const
+{
+    return static_cast<std::uint16_t>((pc >> 2) & maskBits(tagBits));
+}
+
+bool
+Yags::predict(Addr pc, const HistoryRegister &hist)
+{
+    const bool choice_taken =
+        choice[foldBits(pc >> 2, choiceIndexBits)].taken();
+    const std::size_t ci = cacheIndex(pc, hist);
+    const std::uint16_t tag = tagOf(pc);
+
+    // When the choice table says taken, look for an exception in the
+    // not-taken cache, and vice versa.
+    const auto &cache = choice_taken ? notTakenCache : takenCache;
+    const Entry &e = cache[ci];
+    if (e.valid && e.tag == tag)
+        return e.ctr.taken();
+    return choice_taken;
+}
+
+void
+Yags::update(Addr pc, const HistoryRegister &hist, bool taken)
+{
+    const std::size_t choice_idx = foldBits(pc >> 2, choiceIndexBits);
+    const bool choice_taken = choice[choice_idx].taken();
+    const std::size_t ci = cacheIndex(pc, hist);
+    const std::uint16_t tag = tagOf(pc);
+
+    auto &cache = choice_taken ? notTakenCache : takenCache;
+    Entry &e = cache[ci];
+    const bool hit = e.valid && e.tag == tag;
+
+    if (hit) {
+        e.ctr.update(taken);
+    } else if (taken != choice_taken) {
+        // Allocate an exception entry when the default was wrong.
+        e.valid = true;
+        e.tag = tag;
+        e.ctr.setWeak(taken);
+    }
+
+    // The choice table is not updated when it disagrees with the
+    // outcome but the exception cache covered it (standard YAGS
+    // policy keeps the bias stable).
+    if (!(hit && e.ctr.taken() == taken && choice_taken != taken))
+        choice[choice_idx].update(taken);
+}
+
+void
+Yags::reset()
+{
+    for (auto &c : choice)
+        c.set(1);
+    for (auto *cache : {&takenCache, &notTakenCache})
+        for (auto &e : *cache)
+            e = Entry{};
+}
+
+std::size_t
+Yags::sizeBits() const
+{
+    const std::size_t entry_bits = 1 + tagBits + 2;
+    return choice.size() * 2 +
+           (takenCache.size() + notTakenCache.size()) * entry_bits;
+}
+
+std::string
+Yags::name() const
+{
+    return "yags-" + std::to_string(sizeBytes() / 1024) + "KB";
+}
+
+} // namespace pcbp

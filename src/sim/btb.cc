@@ -1,0 +1,78 @@
+#include "sim/btb.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+Btb::Btb(std::size_t num_entries, unsigned num_ways)
+    : table(num_entries),
+      numSets(num_entries / num_ways),
+      numWays(num_ways),
+      indexBits(log2Floor(num_entries / num_ways))
+{
+    pcbp_assert(num_ways >= 1 && num_entries % num_ways == 0);
+    pcbp_assert(isPowerOfTwo(numSets), "BTB sets must be 2^n");
+}
+
+std::size_t
+Btb::setOf(Addr pc) const
+{
+    return (pc >> 2) & maskBits(indexBits);
+}
+
+std::uint64_t
+Btb::tagOf(Addr pc) const
+{
+    return pc >> (2 + indexBits);
+}
+
+bool
+Btb::lookup(Addr pc) const
+{
+    const std::size_t set = setOf(pc);
+    const std::uint64_t tag = tagOf(pc);
+    for (unsigned w = 0; w < numWays; ++w) {
+        const Entry &e = table[set * numWays + w];
+        if (e.valid && e.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Btb::allocate(Addr pc)
+{
+    const std::size_t set = setOf(pc);
+    const std::uint64_t tag = tagOf(pc);
+
+    std::size_t victim = set * numWays;
+    for (unsigned w = 0; w < numWays; ++w) {
+        const std::size_t idx = set * numWays + w;
+        Entry &e = table[idx];
+        if (e.valid && e.tag == tag) {
+            e.lastUse = ++tick;
+            return;
+        }
+        if (!e.valid) {
+            victim = idx;
+        } else if (table[victim].valid &&
+                   e.lastUse < table[victim].lastUse) {
+            victim = idx;
+        }
+    }
+    table[victim].valid = true;
+    table[victim].tag = tag;
+    table[victim].lastUse = ++tick;
+}
+
+void
+Btb::reset()
+{
+    for (auto &e : table)
+        e = Entry{};
+    tick = 0;
+}
+
+} // namespace pcbp

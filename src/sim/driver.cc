@@ -1,0 +1,210 @@
+#include "sim/driver.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+std::string
+HybridSpec::label() const
+{
+    std::string s = budgetName(prophetBudget) + " " +
+                    prophetKindName(prophet);
+    if (critic) {
+        s += " + " + budgetName(criticBudget) + " " +
+             criticKindName(*critic);
+    }
+    return s;
+}
+
+std::unique_ptr<ProphetCriticHybrid>
+HybridSpec::build() const
+{
+    HybridConfig cfg;
+    cfg.numFutureBits = critic ? futureBits : 0;
+    cfg.speculativeHistoryUpdate = speculativeHistory;
+    cfg.repairHistory = repairHistory;
+    return std::make_unique<ProphetCriticHybrid>(
+        makeProphet(prophet, prophetBudget),
+        critic ? makeCritic(*critic, criticBudget) : nullptr, cfg);
+}
+
+HybridSpec
+prophetAlone(ProphetKind kind, Budget budget)
+{
+    HybridSpec s;
+    s.prophet = kind;
+    s.prophetBudget = budget;
+    s.critic.reset();
+    s.futureBits = 0;
+    return s;
+}
+
+HybridSpec
+hybridSpec(ProphetKind prophet, Budget prophet_budget, CriticKind critic,
+           Budget critic_budget, unsigned future_bits)
+{
+    HybridSpec s;
+    s.prophet = prophet;
+    s.prophetBudget = prophet_budget;
+    s.critic = critic;
+    s.criticBudget = critic_budget;
+    s.futureBits = future_bits;
+    return s;
+}
+
+double
+benchScale()
+{
+    static const double scale = [] {
+        const char *env = std::getenv("PCBP_BENCH_SCALE");
+        if (!env)
+            return 1.0;
+        const double v = std::atof(env);
+        if (v <= 0.0) {
+            pcbp_warn("ignoring PCBP_BENCH_SCALE='", env, "'");
+            return 1.0;
+        }
+        return v;
+    }();
+    return scale;
+}
+
+EngineConfig
+engineConfigFor(const Workload &w)
+{
+    EngineConfig cfg;
+    cfg.measureBranches = static_cast<std::uint64_t>(
+        double(w.simBranches) * benchScale());
+    cfg.warmupBranches = static_cast<std::uint64_t>(
+        double(w.warmupBranches) * benchScale());
+    cfg.measureBranches = std::max<std::uint64_t>(cfg.measureBranches,
+                                                  1000);
+    cfg.warmupBranches = std::max<std::uint64_t>(cfg.warmupBranches, 100);
+    return cfg;
+}
+
+EngineStats
+runAccuracy(const Workload &w, const HybridSpec &spec)
+{
+    return runAccuracy(w, spec, engineConfigFor(w));
+}
+
+EngineStats
+runAccuracy(const Workload &w, const HybridSpec &spec,
+            const EngineConfig &config)
+{
+    Program program = buildProgram(w);
+    auto hybrid = spec.build();
+    Engine engine(program, *hybrid, config);
+    return engine.run();
+}
+
+std::vector<EngineStats>
+runSet(const std::vector<const Workload *> &set, const HybridSpec &spec)
+{
+    std::vector<EngineStats> results(set.size());
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned workers =
+        std::min<unsigned>(hw, static_cast<unsigned>(set.size()));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < set.size(); ++i)
+            results[i] = runAccuracy(*set[i], spec);
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    std::atomic<std::size_t> next{0};
+    for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= set.size())
+                    return;
+                results[i] = runAccuracy(*set[i], spec);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+AggregateResult
+runSetAggregated(const std::vector<const Workload *> &set,
+                 const HybridSpec &spec)
+{
+    return aggregate(runSet(set, spec));
+}
+
+TimingConfig
+timingConfigFor(const Workload &w)
+{
+    TimingConfig cfg;
+    // Timing runs are ~10x slower per branch than accuracy runs, so
+    // use a third of the workload's accuracy budget.
+    cfg.measureBranches = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(double(w.simBranches) / 3.0 *
+                                   benchScale()),
+        1000);
+    cfg.warmupBranches =
+        std::max<std::uint64_t>(cfg.measureBranches / 10, 100);
+    return cfg;
+}
+
+TimingStats
+runTiming(const Workload &w, const HybridSpec &spec)
+{
+    Program program = buildProgram(w);
+    auto hybrid = spec.build();
+    TimingSim sim(program, *hybrid, timingConfigFor(w));
+    return sim.run();
+}
+
+std::vector<TimingStats>
+runTimingSet(const std::vector<const Workload *> &set,
+             const HybridSpec &spec)
+{
+    std::vector<TimingStats> results(set.size());
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned workers =
+        std::min<unsigned>(hw, static_cast<unsigned>(set.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < set.size(); ++i)
+            results[i] = runTiming(*set[i], spec);
+        return results;
+    }
+    std::vector<std::thread> pool;
+    std::atomic<std::size_t> next{0};
+    for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= set.size())
+                    return;
+                results[i] = runTiming(*set[i], spec);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+double
+meanUpc(const std::vector<TimingStats> &runs)
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : runs)
+        sum += r.upc();
+    return sum / double(runs.size());
+}
+
+} // namespace pcbp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment driver: builds hybrids from specs, runs workloads
+ * through the accuracy engine (in parallel across workloads), and
+ * aggregates — the shared machinery of every bench binary.
+ */
+
+#ifndef PCBP_SIM_DRIVER_HH
+#define PCBP_SIM_DRIVER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/presets.hh"
+#include "sim/engine.hh"
+#include "sim/metrics.hh"
+#include "sim/timing.hh"
+#include "workload/suites.hh"
+
+namespace pcbp
+{
+
+/** A full predictor configuration under test. */
+struct HybridSpec
+{
+    ProphetKind prophet = ProphetKind::Perceptron;
+    Budget prophetBudget = Budget::B8KB;
+
+    /** No critic = prophet-alone baseline. */
+    std::optional<CriticKind> critic;
+    Budget criticBudget = Budget::B8KB;
+
+    unsigned futureBits = 8;
+
+    /** Ablation knobs (§3.2 / §3.3); both on in the paper's design. */
+    bool speculativeHistory = true;
+    bool repairHistory = true;
+
+    /** Human-readable label, e.g.\ "8KB perceptron + 8KB t.gshare". */
+    std::string label() const;
+
+    /** Instantiate the predictor. */
+    std::unique_ptr<ProphetCriticHybrid> build() const;
+};
+
+/** Prophet-alone spec helper. */
+HybridSpec prophetAlone(ProphetKind kind, Budget budget);
+
+/** Full hybrid spec helper. */
+HybridSpec hybridSpec(ProphetKind prophet, Budget prophet_budget,
+                      CriticKind critic, Budget critic_budget,
+                      unsigned future_bits);
+
+/**
+ * Global bench scale factor from the PCBP_BENCH_SCALE environment
+ * variable (default 1.0). Applied to simulated branch counts.
+ */
+double benchScale();
+
+/** Engine configuration for a workload, with benchScale applied. */
+EngineConfig engineConfigFor(const Workload &w);
+
+/** Run one workload under one spec. */
+EngineStats runAccuracy(const Workload &w, const HybridSpec &spec);
+
+/** Run one workload with explicit engine configuration. */
+EngineStats runAccuracy(const Workload &w, const HybridSpec &spec,
+                        const EngineConfig &config);
+
+/**
+ * Run a workload set under one spec, in parallel across workloads,
+ * and return per-workload stats in set order.
+ */
+std::vector<EngineStats> runSet(const std::vector<const Workload *> &set,
+                                const HybridSpec &spec);
+
+/** runSet + aggregate. */
+AggregateResult runSetAggregated(
+    const std::vector<const Workload *> &set, const HybridSpec &spec);
+
+/** Timing configuration for a workload, with benchScale applied. */
+TimingConfig timingConfigFor(const Workload &w);
+
+/** Run one workload through the cycle-level timing model. */
+TimingStats runTiming(const Workload &w, const HybridSpec &spec);
+
+/**
+ * Run a workload set through the timing model in parallel; returns
+ * per-workload stats in set order.
+ */
+std::vector<TimingStats> runTimingSet(
+    const std::vector<const Workload *> &set, const HybridSpec &spec);
+
+/** Arithmetic mean of per-workload uPC. */
+double meanUpc(const std::vector<TimingStats> &runs);
+
+} // namespace pcbp
+
+#endif // PCBP_SIM_DRIVER_HH

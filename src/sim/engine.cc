@@ -1,0 +1,257 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+Engine::Engine(Program &program_, ProphetCriticHybrid &hybrid_,
+               const EngineConfig &config)
+    : program(program_), hybrid(hybrid_), cfg(config),
+      btb(config.btbEntries, config.btbWays)
+{
+    pcbp_assert(cfg.pipelineDepth >= 2);
+    pcbp_assert(cfg.pipelineDepth > hybrid.numFutureBits(),
+                "pipeline depth must exceed the future-bit count");
+}
+
+void
+Engine::fetchOne()
+{
+    const BasicBlock &b = program.block(fetchBlock);
+
+    Inflight r;
+    r.block = fetchBlock;
+    r.pc = b.branchPc;
+    r.numUops = b.numUops;
+    r.traceIdx = specTraceIdx++;
+    r.btbHit = !cfg.useBtb || btb.lookup(r.pc);
+
+    if (r.btbHit) {
+        r.prophetPred = hybrid.predictBranch(r.pc, r.ctx);
+        r.finalPred = r.prophetPred;
+    } else {
+        // The front end does not see the branch: implicit
+        // fall-through, no history insertion, no critique. Keep a
+        // checkpoint of the (unmodified) registers for repair.
+        r.prophetPred = false;
+        r.finalPred = false;
+        r.critiqued = true;
+        r.ctx.bhrBefore = hybrid.bhr();
+        r.ctx.borBefore = hybrid.bor();
+    }
+
+    fetchBlock = program.successor(fetchBlock, r.finalPred);
+    inflight.push_back(std::move(r));
+}
+
+std::vector<bool>
+Engine::futureBitsFor(std::size_t idx) const
+{
+    const unsigned want = hybrid.numFutureBits();
+    std::vector<bool> fb;
+    if (want == 0)
+        return fb;
+    fb.reserve(want);
+
+    if (cfg.oracleFutureBits) {
+        // Ablation (§6): correct-path outcomes as future bits. Only
+        // meaningful for correct-path branches; wrong-path records
+        // are squashed before their critique matters.
+        for (std::uint64_t t = inflight[idx].traceIdx;
+             fb.size() < want && t < trace.size(); ++t) {
+            fb.push_back(trace[t].taken);
+        }
+        if (fb.empty())
+            fb.push_back(inflight[idx].prophetPred);
+        return fb;
+    }
+
+    // Real mode: the prophet's predictions for this branch and the
+    // (BTB-identified) branches fetched after it, oldest first.
+    fb.push_back(inflight[idx].prophetPred);
+    for (std::size_t j = idx + 1; j < inflight.size() && fb.size() < want;
+         ++j) {
+        if (inflight[j].btbHit)
+            fb.push_back(inflight[j].prophetPred);
+    }
+    return fb;
+}
+
+bool
+Engine::critiqueAt(std::size_t idx)
+{
+    Inflight &r = inflight[idx];
+    pcbp_assert(!r.critiqued && r.btbHit);
+
+    const std::vector<bool> fb = futureBitsFor(idx);
+    if (fb.size() < hybrid.numFutureBits() && measuring())
+        ++stats.partialCritiques;
+
+    CritiqueDecision d =
+        hybrid.critiqueBranch(r.pc, r.ctx, r.prophetPred, fb);
+    r.critiqued = true;
+    r.finalPred = d.finalPrediction;
+
+    const bool overrode = d.overrode;
+    r.decision = std::move(d);
+
+    if (overrode) {
+        if (measuring()) {
+            ++stats.criticOverrides;
+            stats.squashedPredictions += inflight.size() - idx - 1;
+        }
+        // FTQ-only flush: every younger prediction is uncriticized
+        // (critiques are issued oldest-first), so the flush is
+        // confined to the queue (§5).
+        for (std::size_t j = idx + 1; j < inflight.size(); ++j)
+            pcbp_assert(!inflight[j].btbHit || !inflight[j].critiqued);
+        inflight.resize(idx + 1);
+        hybrid.overrideRedirect(r.ctx, r.finalPred);
+        fetchBlock = program.successor(r.block, r.finalPred);
+        specTraceIdx = r.traceIdx + 1;
+    }
+    return overrode;
+}
+
+void
+Engine::critiqueReady()
+{
+    if (!hybrid.hasCritic())
+        return;
+    const unsigned want = std::max(1u, hybrid.numFutureBits());
+
+    for (std::size_t i = 0; i < inflight.size(); ++i) {
+        if (inflight[i].critiqued)
+            continue;
+        // Count the future bits available to this branch.
+        unsigned avail = hybrid.numFutureBits() == 0 ? want : 1;
+        for (std::size_t j = i + 1;
+             j < inflight.size() && avail < want; ++j) {
+            if (inflight[j].btbHit)
+                ++avail;
+        }
+        if (avail < want)
+            break; // younger branches have even fewer bits
+        if (critiqueAt(i))
+            break; // override squashed the younger entries
+    }
+}
+
+void
+Engine::resolveOldest()
+{
+    pcbp_assert(!inflight.empty());
+
+    // §5: the consumer needs this prediction now; if the critique is
+    // still pending, generate it from the future bits available.
+    if (!inflight.front().critiqued && inflight.front().btbHit &&
+        hybrid.hasCritic()) {
+        critiqueAt(0);
+    }
+
+    Inflight r = std::move(inflight.front());
+    inflight.pop_front();
+
+    // Invariant: the oldest in-flight branch is on the correct path.
+    pcbp_assert(r.traceIdx == commitIdx,
+                "oldest branch not at the commit point");
+    pcbp_assert(r.block == trace[commitIdx].block,
+                "oldest branch diverged from the architectural path");
+
+    const bool outcome = trace[commitIdx].taken;
+    const bool prophet_correct =
+        r.btbHit ? (r.prophetPred == outcome) : !outcome;
+
+    // Non-speculative commit-time training (§3.2); for critiqued
+    // branches this uses the critique-time BOR, wrong-path future
+    // bits included (§3.3).
+    hybrid.commitBranch(r.pc, r.ctx, r.decision, outcome);
+    if (cfg.useBtb && !r.btbHit)
+        btb.allocate(r.pc);
+
+    const bool mispredicted = r.finalPred != outcome;
+
+    if (measuring()) {
+        ++stats.committedBranches;
+        stats.committedUops += r.numUops;
+        if (!r.btbHit)
+            ++stats.btbMisses;
+        if (r.btbHit && !prophet_correct)
+            ++stats.prophetMispredicts;
+        if (r.btbHit && hybrid.hasCritic() && r.decision) {
+            const bool provided = r.decision->provided;
+            const bool agreed =
+                !provided || r.decision->finalPrediction == r.prophetPred;
+            stats.critiques.record(
+                classifyCritique(prophet_correct, provided, agreed));
+        }
+        if (cfg.collectPerBranch) {
+            auto &pb = perBranchMap[r.pc];
+            pb.pc = r.pc;
+            ++pb.execs;
+            if (r.btbHit && !prophet_correct)
+                ++pb.prophetWrong;
+            if (mispredicted)
+                ++pb.finalWrong;
+        }
+    }
+
+    ++commitIdx;
+
+    if (mispredicted) {
+        if (measuring()) {
+            ++stats.finalMispredicts;
+            stats.flushDistance.sample(uopsSinceFlush);
+            stats.wrongPathBranches += inflight.size();
+            for (const auto &w : inflight)
+                stats.wrongPathUops += w.numUops;
+        }
+        uopsSinceFlush = 0;
+        inflight.clear();
+        hybrid.recoverMispredict(r.ctx, outcome);
+        fetchBlock = program.successor(r.block, outcome);
+        specTraceIdx = commitIdx;
+    } else {
+        uopsSinceFlush += r.numUops;
+    }
+}
+
+EngineStats
+Engine::run()
+{
+    const std::uint64_t total = cfg.warmupBranches + cfg.measureBranches;
+    trace = walkProgram(program, total);
+
+    fetchBlock = program.entry();
+    specTraceIdx = 0;
+    commitIdx = 0;
+    uopsSinceFlush = 0;
+    inflight.clear();
+    stats = EngineStats{};
+    perBranchMap.clear();
+
+    while (commitIdx < total) {
+        while (inflight.size() < cfg.pipelineDepth)
+            fetchOne();
+        critiqueReady();
+        resolveOldest();
+    }
+
+    if (cfg.collectPerBranch) {
+        stats.perBranch.reserve(perBranchMap.size());
+        for (auto &kv : perBranchMap)
+            stats.perBranch.push_back(kv.second);
+        std::sort(stats.perBranch.begin(), stats.perBranch.end(),
+                  [](const PerBranchStat &a, const PerBranchStat &b) {
+                      if (a.finalWrong != b.finalWrong)
+                          return a.finalWrong > b.finalWrong;
+                      return a.pc < b.pc;
+                  });
+    }
+    return stats;
+}
+
+} // namespace pcbp

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The wrong-path-capable branch-prediction engine.
+ *
+ * This is the accuracy simulator (no timing): it models an in-order
+ * speculative front end with a bounded number of in-flight branches.
+ * The prophet runs ahead along its own predicted path through the
+ * *CFG* — so, when the final prediction of a branch turns out wrong,
+ * the future bits the critic consumed were genuinely produced on the
+ * wrong path, exactly as §6 of the paper requires. Recovery restores
+ * the checkpointed BHR/BOR and redirects fetch; the mispredicted
+ * branch itself commits and trains the critic with its critique-time
+ * BOR (§3.3).
+ *
+ * The committed (architectural) path is precomputed: branch
+ * behaviors read only committed state, so the correct path is
+ * provably independent of the predictor (as in real hardware, where
+ * wrong-path execution has no architectural effect).
+ */
+
+#ifndef PCBP_SIM_ENGINE_HH
+#define PCBP_SIM_ENGINE_HH
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/critique.hh"
+#include "core/prophet_critic.hh"
+#include "sim/btb.hh"
+#include "workload/cfg.hh"
+
+namespace pcbp
+{
+
+/** Accuracy-engine configuration. */
+struct EngineConfig
+{
+    /** Maximum in-flight branches (models pipeline depth). */
+    unsigned pipelineDepth = 24;
+
+    /** Model the BTB of §5 (miss = fall-through, allocate at commit). */
+    bool useBtb = true;
+    std::size_t btbEntries = 4096;
+    unsigned btbWays = 4;
+
+    /**
+     * Ablation: feed the critic correct-path outcomes as future bits
+     * instead of the prophet's wrong-path predictions. §6 argues this
+     * is oracle information a real machine does not have; the
+     * ablation bench quantifies the inflation.
+     */
+    bool oracleFutureBits = false;
+
+    /** Collect per-static-branch statistics (trace explorer). */
+    bool collectPerBranch = false;
+
+    /** Committed branches measured (after warmup). */
+    std::uint64_t measureBranches = 250000;
+
+    /** Committed branches of warmup before measuring. */
+    std::uint64_t warmupBranches = 25000;
+};
+
+/** Per-static-branch accuracy record. */
+struct PerBranchStat
+{
+    Addr pc = 0;
+    std::uint64_t execs = 0;
+    std::uint64_t prophetWrong = 0;
+    std::uint64_t finalWrong = 0;
+};
+
+/** Counters produced by an engine run (measured window only). */
+struct EngineStats
+{
+    std::uint64_t committedBranches = 0;
+    std::uint64_t committedUops = 0;
+
+    /** Final-prediction mispredicts == pipeline flushes. */
+    std::uint64_t finalMispredicts = 0;
+
+    /** Prophet-prediction mispredicts on committed branches. */
+    std::uint64_t prophetMispredicts = 0;
+
+    /** Committed branches that missed the BTB when fetched. */
+    std::uint64_t btbMisses = 0;
+
+    /** Explicit disagree critiques. */
+    std::uint64_t criticOverrides = 0;
+
+    /** Prophet predictions flushed from the FTQ by overrides. */
+    std::uint64_t squashedPredictions = 0;
+
+    /** Branches/uops squashed by pipeline flushes (wrong path). */
+    std::uint64_t wrongPathBranches = 0;
+    std::uint64_t wrongPathUops = 0;
+
+    /** Critiques generated with fewer than the configured bits. */
+    std::uint64_t partialCritiques = 0;
+
+    /** §7.3 critique distribution. */
+    CritiqueCounts critiques;
+
+    /** Distribution of uops between pipeline flushes. */
+    Histogram flushDistance{64, 512};
+
+    /** Optional per-static-branch stats, sorted by finalWrong. */
+    std::vector<PerBranchStat> perBranch;
+
+    double
+    mispPerKuops() const
+    {
+        return committedUops == 0
+                   ? 0.0
+                   : 1000.0 * double(finalMispredicts) /
+                         double(committedUops);
+    }
+
+    double
+    mispRate() const
+    {
+        return committedBranches == 0
+                   ? 0.0
+                   : double(finalMispredicts) / double(committedBranches);
+    }
+
+    double
+    prophetMispRate() const
+    {
+        return committedBranches == 0
+                   ? 0.0
+                   : double(prophetMispredicts) /
+                         double(committedBranches);
+    }
+
+    double
+    uopsPerFlush() const
+    {
+        return finalMispredicts == 0
+                   ? double(committedUops)
+                   : double(committedUops) / double(finalMispredicts);
+    }
+};
+
+class Engine
+{
+  public:
+    /**
+     * @param program The CFG to run (walked architecturally inside).
+     * @param hybrid The predictor under test (prophet-only or full
+     *        prophet/critic).
+     * @param config Engine configuration.
+     */
+    Engine(Program &program, ProphetCriticHybrid &hybrid,
+           const EngineConfig &config);
+
+    /** Run the configured number of branches and return stats. */
+    EngineStats run();
+
+  private:
+    struct Inflight
+    {
+        BlockId block = invalidBlock;
+        Addr pc = 0;
+        std::uint32_t numUops = 0;
+        std::uint64_t traceIdx = 0;
+        bool btbHit = true;
+        bool prophetPred = false;
+        bool finalPred = false;
+        bool critiqued = false;
+        std::optional<CritiqueDecision> decision;
+        BranchContext ctx;
+    };
+
+    void fetchOne();
+    std::vector<bool> futureBitsFor(std::size_t idx) const;
+    bool critiqueAt(std::size_t idx);
+    void critiqueReady();
+    void resolveOldest();
+
+    bool measuring() const { return commitIdx >= cfg.warmupBranches; }
+
+    Program &program;
+    ProphetCriticHybrid &hybrid;
+    EngineConfig cfg;
+    Btb btb;
+
+    std::vector<CommittedBranch> trace;
+    std::deque<Inflight> inflight;
+    BlockId fetchBlock = 0;
+    std::uint64_t specTraceIdx = 0;
+    std::uint64_t commitIdx = 0;
+    std::uint64_t uopsSinceFlush = 0;
+
+    EngineStats stats;
+    std::unordered_map<Addr, PerBranchStat> perBranchMap;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_SIM_ENGINE_HH

@@ -1,0 +1,60 @@
+#include "sim/ftq.hh"
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+Ftq::Ftq(std::size_t capacity) : cap(capacity)
+{
+    pcbp_assert(capacity >= 1);
+}
+
+void
+Ftq::push(FtqEntry e)
+{
+    pcbp_assert(!full(), "pushing into a full FTQ");
+    q.push_back(std::move(e));
+}
+
+FtqEntry &
+Ftq::head()
+{
+    pcbp_assert(!q.empty());
+    return q.front();
+}
+
+void
+Ftq::popHead()
+{
+    pcbp_assert(!q.empty());
+    q.pop_front();
+}
+
+std::optional<std::size_t>
+Ftq::oldestUncriticized() const
+{
+    for (std::size_t i = 0; i < q.size(); ++i)
+        if (!q[i].critiqued)
+            return i;
+    return std::nullopt;
+}
+
+std::size_t
+Ftq::flushYoungerThan(std::size_t idx)
+{
+    pcbp_assert(idx < q.size());
+    const std::size_t flushed = q.size() - idx - 1;
+    q.resize(idx + 1);
+    return flushed;
+}
+
+std::size_t
+Ftq::flushAll()
+{
+    const std::size_t flushed = q.size();
+    q.clear();
+    return flushed;
+}
+
+} // namespace pcbp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fetch target queue (§5, Fig. 4): the bounded queue that decouples
+ * the prophet/critic hybrid from the instruction cache. The hybrid
+ * produces predictions into the tail; the cache consumes uops from
+ * the head; the critic walks the oldest uncriticized entry. On a
+ * disagree critique, only the uncriticized entries are flushed.
+ */
+
+#ifndef PCBP_SIM_FTQ_HH
+#define PCBP_SIM_FTQ_HH
+
+#include <deque>
+#include <optional>
+
+#include "core/prophet_critic.hh"
+#include "workload/cfg.hh"
+
+namespace pcbp
+{
+
+/** One FTQ entry: the prediction for one fetch block. */
+struct FtqEntry
+{
+    BlockId block = invalidBlock;
+    Addr pc = 0;
+    std::uint32_t numUops = 0;
+    std::uint32_t uopsLeft = 0; //!< not yet consumed by the cache
+    std::uint64_t traceIdx = 0;
+    Cycle fetchCycle = 0;       //!< cycle the prophet produced it
+    bool btbHit = true;
+    bool prophetPred = false;
+    bool finalPred = false;
+    bool critiqued = false;
+    std::optional<CritiqueDecision> decision;
+    BranchContext ctx;
+};
+
+class Ftq
+{
+  public:
+    explicit Ftq(std::size_t capacity);
+
+    bool full() const { return q.size() >= cap; }
+    bool empty() const { return q.empty(); }
+    std::size_t size() const { return q.size(); }
+    std::size_t capacity() const { return cap; }
+
+    void push(FtqEntry e);
+
+    FtqEntry &head();
+    FtqEntry &at(std::size_t i) { return q[i]; }
+    const FtqEntry &at(std::size_t i) const { return q[i]; }
+
+    void popHead();
+
+    /** Index of the oldest uncriticized entry, if any. */
+    std::optional<std::size_t> oldestUncriticized() const;
+
+    /**
+     * Flush entries younger than @p idx (the §5 FTQ-only flush on a
+     * disagree critique). Returns the number flushed.
+     */
+    std::size_t flushYoungerThan(std::size_t idx);
+
+    /** Flush everything (pipeline mispredict). */
+    std::size_t flushAll();
+
+  private:
+    std::deque<FtqEntry> q;
+    std::size_t cap;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_SIM_FTQ_HH

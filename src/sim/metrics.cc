@@ -1,0 +1,40 @@
+#include "sim/metrics.hh"
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+AggregateResult
+aggregate(const std::vector<EngineStats> &runs)
+{
+    AggregateResult a;
+    if (runs.empty())
+        return a;
+    for (const auto &s : runs) {
+        a.mispPerKuops += s.mispPerKuops();
+        a.mispRate += s.mispRate();
+        a.prophetMispRate += s.prophetMispRate();
+        a.committedBranches += s.committedBranches;
+        a.committedUops += s.committedUops;
+        a.finalMispredicts += s.finalMispredicts;
+        a.partialCritiques += s.partialCritiques;
+        for (std::size_t c = 0; c < numCritiqueClasses; ++c)
+            a.critiques.counts[c] += s.critiques.counts[c];
+    }
+    const double n = static_cast<double>(runs.size());
+    a.mispPerKuops /= n;
+    a.mispRate /= n;
+    a.prophetMispRate /= n;
+    return a;
+}
+
+double
+pctReduction(double base, double now)
+{
+    if (base == 0.0)
+        return 0.0;
+    return 100.0 * (base - now) / base;
+}
+
+} // namespace pcbp

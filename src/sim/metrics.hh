@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Aggregation of engine statistics across workload sets, matching
+ * how the paper reports results (averages over benchmarks, summed
+ * critique distributions, percent reductions).
+ */
+
+#ifndef PCBP_SIM_METRICS_HH
+#define PCBP_SIM_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace pcbp
+{
+
+/** One workload's result under one configuration. */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+    EngineStats stats;
+};
+
+/** Aggregate over a workload set. */
+struct AggregateResult
+{
+    /** Arithmetic mean of per-workload misp/Kuops (paper style). */
+    double mispPerKuops = 0.0;
+
+    /** Arithmetic mean of per-workload final mispredict rate. */
+    double mispRate = 0.0;
+
+    /** Arithmetic mean of per-workload prophet mispredict rate. */
+    double prophetMispRate = 0.0;
+
+    /** Summed critique distribution. */
+    CritiqueCounts critiques;
+
+    /** Summed raw counters. */
+    std::uint64_t committedBranches = 0;
+    std::uint64_t committedUops = 0;
+    std::uint64_t finalMispredicts = 0;
+    std::uint64_t partialCritiques = 0;
+
+    /** Mean uops between flushes (weighted by totals). */
+    double
+    uopsPerFlush() const
+    {
+        return finalMispredicts == 0
+                   ? double(committedUops)
+                   : double(committedUops) / double(finalMispredicts);
+    }
+};
+
+/** Aggregate a batch of per-workload stats. */
+AggregateResult aggregate(const std::vector<EngineStats> &runs);
+
+/** Percent reduction from @p base to @p now (positive = improved). */
+double pctReduction(double base, double now);
+
+} // namespace pcbp
+
+#endif // PCBP_SIM_METRICS_HH

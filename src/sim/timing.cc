@@ -1,0 +1,286 @@
+#include "sim/timing.hh"
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+TimingSim::TimingSim(Program &program_, ProphetCriticHybrid &hybrid_,
+                     const TimingConfig &config)
+    : program(program_), hybrid(hybrid_), cfg(config),
+      btb(config.btbEntries, config.btbWays), ftq(config.ftqSize)
+{
+    pcbp_assert(cfg.fetchWidth >= 1 && cfg.retireWidth >= 1);
+    pcbp_assert(cfg.prophetBw >= 1 && cfg.criticBw >= 1);
+    pcbp_assert(cfg.ftqSize > hybrid.numFutureBits(),
+                "FTQ must be deeper than the future-bit count");
+}
+
+unsigned
+TimingSim::futureBitsAvailable(std::size_t idx) const
+{
+    const unsigned want = std::max(1u, hybrid.numFutureBits());
+    unsigned avail = hybrid.numFutureBits() == 0 ? want : 1;
+    for (std::size_t j = idx + 1; j < ftq.size() && avail < want; ++j) {
+        if (ftq.at(j).btbHit)
+            ++avail;
+    }
+    return avail;
+}
+
+void
+TimingSim::critiqueFtqEntry(std::size_t idx, bool partial)
+{
+    FtqEntry &e = ftq.at(idx);
+    pcbp_assert(!e.critiqued && e.btbHit);
+
+    const unsigned want = hybrid.numFutureBits();
+    std::vector<bool> fb;
+    if (want > 0) {
+        fb.reserve(want);
+        fb.push_back(e.prophetPred);
+        for (std::size_t j = idx + 1; j < ftq.size() && fb.size() < want;
+             ++j) {
+            if (ftq.at(j).btbHit)
+                fb.push_back(ftq.at(j).prophetPred);
+        }
+        if (partial && fb.size() < want && measuring())
+            ++stats.partialCritiques;
+    }
+
+    CritiqueDecision d =
+        hybrid.critiqueBranch(e.pc, e.ctx, e.prophetPred, fb);
+    e.critiqued = true;
+    e.finalPred = d.finalPrediction;
+    const bool overrode = d.overrode;
+    e.decision = std::move(d);
+
+    if (overrode) {
+        if (measuring()) {
+            ++stats.criticOverrides;
+            stats.ftqEntriesFlushedByCritic += ftq.size() - idx - 1;
+        }
+        ftq.flushYoungerThan(idx);
+        hybrid.overrideRedirect(e.ctx, e.finalPred);
+        fetchBlock = program.successor(e.block, e.finalPred);
+        specTraceIdx = e.traceIdx + 1;
+        prophetStalledUntil = now + cfg.redirectPenalty;
+    }
+}
+
+void
+TimingSim::flushPipeline(const WindowBlock &mispredicted, bool outcome)
+{
+    // Squash everything younger than the mispredicted branch: the
+    // tail of the window, plus the whole FTQ (consumed-but-unretired
+    // uops were fetched down the wrong path).
+    std::uint64_t squashed_uops = 0;
+    while (!window.empty() &&
+           window.back().traceIdx > mispredicted.traceIdx) {
+        squashed_uops += window.back().uops;
+        windowUops -= window.back().uops;
+        window.pop_back();
+    }
+    for (std::size_t i = 0; i < ftq.size(); ++i) {
+        const FtqEntry &e = ftq.at(i);
+        squashed_uops += e.numUops - e.uopsLeft;
+    }
+    ftq.flushAll();
+
+    if (measuring())
+        stats.wrongPathFetchedUops += squashed_uops;
+
+    hybrid.recoverMispredict(mispredicted.ctx, outcome);
+    fetchBlock = program.successor(mispredicted.block, outcome);
+    specTraceIdx = mispredicted.traceIdx + 1;
+    prophetStalledUntil = now + cfg.redirectPenalty;
+    cacheStalledUntil = now + cfg.frontEndRefill;
+}
+
+void
+TimingSim::stepResolve()
+{
+    for (auto &b : window) {
+        if (b.resolved)
+            continue;
+        if (b.readyCycle > now)
+            break; // in-order: younger blocks are not ready either
+        if (b.traceIdx >= trace.size())
+            break; // speculative past the end of the run
+        pcbp_assert(b.traceIdx == resolveIdx,
+                    "resolution diverged from the architectural path");
+        pcbp_assert(b.block == trace[resolveIdx].block);
+        const bool outcome = trace[resolveIdx].taken;
+        b.resolved = true;
+        ++resolveIdx;
+        if (b.finalPred != outcome) {
+            if (measuring())
+                ++stats.finalMispredicts;
+            flushPipeline(b, outcome);
+            break; // everything younger is gone
+        }
+    }
+}
+
+void
+TimingSim::stepRetire()
+{
+    unsigned budget = cfg.retireWidth;
+    while (budget > 0 && !window.empty() && commitIdx < totalBranches) {
+        WindowBlock &b = window.front();
+        if (!b.resolved)
+            break;
+        const std::uint32_t chunk =
+            std::min<std::uint32_t>(budget, b.uops - b.retired);
+        b.retired += chunk;
+        budget -= chunk;
+        if (measuring()) {
+            stats.committedUops += chunk;
+        }
+        if (b.retired < b.uops)
+            break;
+
+        // Whole block retired: the branch commits.
+        pcbp_assert(b.traceIdx == commitIdx);
+        const bool outcome = trace[commitIdx].taken;
+        hybrid.commitBranch(b.pc, b.ctx, b.decision, outcome);
+        if (cfg.useBtb && !b.btbHit)
+            btb.allocate(b.pc);
+        if (measuring())
+            ++stats.committedBranches;
+        ++commitIdx;
+        if (commitIdx == cfg.warmupBranches)
+            measureStartCycle = now;
+        windowUops -= b.uops;
+        window.pop_front();
+    }
+}
+
+void
+TimingSim::stepCritic()
+{
+    if (!hybrid.hasCritic())
+        return;
+    for (unsigned i = 0; i < cfg.criticBw; ++i) {
+        const auto idx = ftq.oldestUncriticized();
+        if (!idx)
+            return;
+        const unsigned want = std::max(1u, hybrid.numFutureBits());
+        if (futureBitsAvailable(*idx) < want)
+            return; // wait for the prophet to run further ahead
+        critiqueFtqEntry(*idx, false);
+    }
+}
+
+void
+TimingSim::stepFetch()
+{
+    unsigned budget = cfg.fetchWidth;
+    if (now < cacheStalledUntil)
+        return;
+    if (ftq.empty()) {
+        if (measuring())
+            ++stats.ftqEmptyCycles;
+        return;
+    }
+    while (budget > 0 && !ftq.empty()) {
+        FtqEntry &e = ftq.head();
+        if (windowUops + e.numUops > cfg.windowSize)
+            break; // window full
+        if (!e.critiqued && e.btbHit && hybrid.hasCritic()) {
+            // §5: the cache requires this prediction before the
+            // critique gathered all its future bits.
+            critiqueFtqEntry(0, true);
+        }
+        FtqEntry &h = ftq.head(); // critique may have flushed others
+        const std::uint32_t chunk =
+            std::min<std::uint32_t>(budget, h.uopsLeft);
+        h.uopsLeft -= chunk;
+        budget -= chunk;
+        if (measuring())
+            stats.fetchedUops += chunk;
+        if (h.uopsLeft > 0)
+            break;
+
+        WindowBlock wb;
+        wb.block = h.block;
+        wb.pc = h.pc;
+        wb.uops = h.numUops;
+        wb.traceIdx = h.traceIdx;
+        wb.readyCycle = now + cfg.resolveDepth;
+        wb.btbHit = h.btbHit;
+        wb.prophetPred = h.prophetPred;
+        wb.finalPred = h.finalPred;
+        wb.decision = std::move(h.decision);
+        wb.ctx = std::move(h.ctx);
+        windowUops += wb.uops;
+        window.push_back(std::move(wb));
+        ftq.popHead();
+    }
+}
+
+void
+TimingSim::stepProphet()
+{
+    if (now < prophetStalledUntil)
+        return;
+    for (unsigned i = 0; i < cfg.prophetBw; ++i) {
+        if (ftq.full())
+            return;
+        const BasicBlock &b = program.block(fetchBlock);
+        FtqEntry e;
+        e.block = fetchBlock;
+        e.pc = b.branchPc;
+        e.numUops = b.numUops;
+        e.uopsLeft = b.numUops;
+        e.traceIdx = specTraceIdx++;
+        e.fetchCycle = now;
+        e.btbHit = !cfg.useBtb || btb.lookup(e.pc);
+        if (e.btbHit) {
+            e.prophetPred = hybrid.predictBranch(e.pc, e.ctx);
+            e.finalPred = e.prophetPred;
+        } else {
+            e.prophetPred = false;
+            e.finalPred = false;
+            e.critiqued = true;
+            e.ctx.bhrBefore = hybrid.bhr();
+            e.ctx.borBefore = hybrid.bor();
+        }
+        fetchBlock = program.successor(fetchBlock, e.finalPred);
+        ftq.push(std::move(e));
+    }
+}
+
+TimingStats
+TimingSim::run()
+{
+    const std::uint64_t total = cfg.warmupBranches + cfg.measureBranches;
+    totalBranches = total;
+    trace = walkProgram(program, total);
+
+    fetchBlock = program.entry();
+    specTraceIdx = 0;
+    resolveIdx = 0;
+    commitIdx = 0;
+    now = 0;
+    prophetStalledUntil = 0;
+    cacheStalledUntil = 0;
+    windowUops = 0;
+    window.clear();
+    stats = TimingStats{};
+    measureStartCycle = 0;
+
+    while (commitIdx < total) {
+        stepResolve();
+        stepRetire();
+        stepCritic();
+        stepFetch();
+        stepProphet();
+        ++now;
+    }
+
+    stats.cycles = now - measureStartCycle;
+    return stats;
+}
+
+} // namespace pcbp

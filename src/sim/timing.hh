@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cycle-level decoupled front-end + simplified back-end timing model
+ * (§5 implementation, Table 2 parameters).
+ *
+ * Front end: the prophet produces up to 2 predictions/cycle into a
+ * 32-entry FTQ; the critic critiques 1 prediction/cycle (oldest
+ * uncriticized first) once its future bits are available, flushing
+ * uncriticized FTQ entries and redirecting the prophet on a
+ * disagreement; the cache consumes 6 uops/cycle from criticized head
+ * entries (forcing a partial critique when it reaches an
+ * uncriticized one, as §5 describes).
+ *
+ * Back end: consumed blocks enter a 2048-uop window; every uop
+ * becomes ready resolveDepth (30) cycles after it is fetched
+ * (modeling the Pentium 4-derived pipeline depth); retirement is
+ * in-order at 6 uops/cycle; a branch resolves when ready, and a
+ * final-prediction mispredict flushes everything younger plus the
+ * whole FTQ.
+ *
+ * Simplifications versus the paper's simulator (documented in
+ * DESIGN.md): ideal caches and no data-dependence stalls, so
+ * absolute uPC is higher than the paper's, but the branch-mispredict
+ * exposure that drives the uPC deltas of Figs. 9-10 is modeled
+ * directly.
+ */
+
+#ifndef PCBP_SIM_TIMING_HH
+#define PCBP_SIM_TIMING_HH
+
+#include <deque>
+
+#include "core/prophet_critic.hh"
+#include "sim/btb.hh"
+#include "sim/ftq.hh"
+#include "workload/cfg.hh"
+
+namespace pcbp
+{
+
+/** Timing-model configuration (defaults from Table 2, doubled P4). */
+struct TimingConfig
+{
+    std::size_t ftqSize = 32;
+    unsigned fetchWidth = 6;   //!< uops consumed from the FTQ per cycle
+    unsigned retireWidth = 6;  //!< uops retired per cycle
+    unsigned prophetBw = 2;    //!< prophet predictions per cycle
+    unsigned criticBw = 1;     //!< critiques per cycle
+    unsigned resolveDepth = 30; //!< fetch-to-resolve latency (cycles)
+    std::size_t windowSize = 2048; //!< instruction window (uops)
+    unsigned redirectPenalty = 1;  //!< prophet restart delay (cycles)
+    /**
+     * Cycles after a pipeline flush before the cache consumes again,
+     * modeling front-end refill depth. Gives the critic time to
+     * critique the FTQ head after a restart, as in a real pipeline.
+     */
+    unsigned frontEndRefill = 12;
+
+    bool useBtb = true;
+    std::size_t btbEntries = 4096;
+    unsigned btbWays = 4;
+
+    std::uint64_t measureBranches = 100000;
+    std::uint64_t warmupBranches = 10000;
+};
+
+/** Counters from a timing run (measured window only). */
+struct TimingStats
+{
+    Cycle cycles = 0;
+    std::uint64_t committedUops = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t finalMispredicts = 0;
+
+    /** Uops consumed by the cache, correct and wrong path. */
+    std::uint64_t fetchedUops = 0;
+
+    /** Fetched uops later squashed by a pipeline flush. */
+    std::uint64_t wrongPathFetchedUops = 0;
+
+    std::uint64_t criticOverrides = 0;
+    std::uint64_t ftqEntriesFlushedByCritic = 0;
+    std::uint64_t partialCritiques = 0;
+
+    /** Cycles the cache wanted a prediction but the FTQ was empty. */
+    std::uint64_t ftqEmptyCycles = 0;
+
+    double
+    upc() const
+    {
+        return cycles == 0 ? 0.0
+                           : double(committedUops) / double(cycles);
+    }
+
+    double
+    uopsPerFlush() const
+    {
+        return finalMispredicts == 0
+                   ? double(committedUops)
+                   : double(committedUops) / double(finalMispredicts);
+    }
+};
+
+class TimingSim
+{
+  public:
+    TimingSim(Program &program, ProphetCriticHybrid &hybrid,
+              const TimingConfig &config);
+
+    TimingStats run();
+
+  private:
+    /** A consumed fetch block waiting in the instruction window. */
+    struct WindowBlock
+    {
+        BlockId block = invalidBlock;
+        Addr pc = 0;
+        std::uint32_t uops = 0;
+        std::uint32_t retired = 0;
+        std::uint64_t traceIdx = 0;
+        Cycle readyCycle = 0;
+        bool btbHit = true;
+        bool prophetPred = false;
+        bool finalPred = false;
+        bool resolved = false;
+        std::optional<CritiqueDecision> decision;
+        BranchContext ctx;
+    };
+
+    void stepResolve();
+    void stepRetire();
+    void stepCritic();
+    void stepFetch();
+    void stepProphet();
+
+    unsigned futureBitsAvailable(std::size_t idx) const;
+    void critiqueFtqEntry(std::size_t idx, bool partial);
+    void flushPipeline(const WindowBlock &mispredicted, bool outcome);
+
+    bool measuring() const { return commitIdx >= cfg.warmupBranches; }
+
+    Program &program;
+    ProphetCriticHybrid &hybrid;
+    TimingConfig cfg;
+    Btb btb;
+    Ftq ftq;
+
+    std::vector<CommittedBranch> trace;
+    std::deque<WindowBlock> window;
+    std::size_t windowUops = 0;
+
+    BlockId fetchBlock = 0;
+    std::uint64_t specTraceIdx = 0;
+    std::uint64_t resolveIdx = 0; //!< next trace index to resolve
+    std::uint64_t commitIdx = 0;  //!< next trace index to retire
+    Cycle now = 0;
+    Cycle prophetStalledUntil = 0;
+    Cycle cacheStalledUntil = 0;
+    std::uint64_t totalBranches = 0;
+
+    TimingStats stats;
+    Cycle measureStartCycle = 0;
+    std::uint64_t uopsAtMeasureStart = 0;
+    std::uint64_t fetchedAtMeasureStart = 0;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_SIM_TIMING_HH

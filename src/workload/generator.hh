@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Synthetic program generator.
+ *
+ * A WorkloadRecipe describes a program as a weighted mixture of
+ * filler blocks (biased, loop, pattern, local-parity, phased, and
+ * pure-noise branches) plus a number of *echo-chain motifs* — the
+ * construction that gives future bits genuine information content:
+ *
+ *   s:    hard branch whose outcome is (the parity of) committed
+ *         global outcome bits at lag L, chosen near or beyond the
+ *         prophet's history length;
+ *   armT/armF: a diamond after s with opposite strong biases, so the
+ *         prophet's predicted path after s carries a wrong-path
+ *         signature (Fig. 2 of the paper);
+ *   r_j:  relay branches that echo the same deep bits at lags the
+ *         prophet *can* learn. The prophet's predictions for the
+ *         relays — which become the critic's future bits — thereby
+ *         re-encode history that has already slid out of the
+ *         critic's own (short) BOR history window. This is the
+ *         compression channel §8 of the paper describes.
+ *
+ * Everything is deterministic given the recipe seed.
+ */
+
+#ifndef PCBP_WORKLOAD_GENERATOR_HH
+#define PCBP_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workload/cfg.hh"
+
+namespace pcbp
+{
+
+/** Parameters describing one synthetic program. */
+struct WorkloadRecipe
+{
+    std::string name = "anon";
+    std::uint64_t seed = 1;
+
+    /** Approximate static footprint (blocks ~= static branches). */
+    unsigned targetBlocks = 300;
+
+    /** Uops per block, uniform range (branch uop included). */
+    unsigned minUops = 4;
+    unsigned maxUops = 22;
+
+    /** @name Filler mixture weights (need not sum to anything). */
+    /// @{
+    double wBiased = 2.0;
+    double wLoop = 2.0;
+    double wPattern = 1.0;
+    double wLocalParity = 0.5;
+    double wPhased = 0.5;
+    double wNoise = 0.5;
+    /**
+     * Short-lag global parity branches: XOR of two-ish recent
+     * committed bits. Unlearnable by perceptrons (not linearly
+     * separable), slow for table prophets under context churn, but
+     * fixable by a table critic whose BOR *history* window still
+     * covers the source bits — i.e., exactly the content that
+     * regresses when future bits displace history (§7.1).
+     */
+    double wGlobalParity = 0.0;
+    /// @}
+
+    /** @name Filler parameters. */
+    /// @{
+    double biasLo = 0.75, biasHi = 0.99;
+    unsigned loopLo = 3, loopHi = 20;
+    unsigned patLenLo = 2, patLenHi = 4;
+    double patNoise = 0.01;
+    unsigned lparWidthLo = 2, lparWidthHi = 3;
+    double lparNoise = 0.02;
+    unsigned phasedLo = 200, phasedHi = 2500;
+    double phasedBiasA = 0.92, phasedBiasB = 0.10;
+    double noiseBias = 0.5;
+    unsigned gparLagLo = 4, gparLagHi = 9;
+    unsigned gparWidthLo = 2, gparWidthHi = 2;
+    double gparNoise = 0.02;
+    /// @}
+
+    /** @name Echo-chain motifs (critic fodder). */
+    /// @{
+    unsigned numChains = 10;
+    /**
+     * The consumer XORs two *natural* committed-history bits at lags
+     * [lagA, lagA+spread]. Lags must be >= 18 so the sources are
+     * invisible to an 18-bit BOR critic's history at every
+     * future-bit count; the relays that re-expose them must stay at
+     * lag <= 27 to be learnable by a 28-bit-history perceptron
+     * prophet, which bounds lagA + spread + gap + 3 <= 27.
+     */
+    unsigned chainLagLo = 18, chainLagHi = 20;
+    /** Lag distance between the two source bits (1 or 2). */
+    unsigned chainSpreadLo = 1, chainSpreadHi = 2;
+    /**
+     * Quiet filler blocks between the arms and the relays. The
+     * relays enter the consumer's critique window only from
+     * gap + 4 future bits, so mixing gaps spreads the critic's
+     * gains across future-bit counts (the Fig. 5 ramp).
+     */
+    unsigned chainGapLo = 0, chainGapHi = 4;
+    /**
+     * Bias of the chain's two source blocks. Mid biases (~0.65-0.75)
+     * leave the XOR consumer around 60/40 — enough fixable mass for
+     * the critic — while keeping the sources' own mispredict floor
+     * moderate.
+     */
+    double chainSrcBias = 0.68;
+    /** Noise on consumers and relays. */
+    double chainNoise = 0.01;
+    /**
+     * The whole chain is an inner loop executing this many times per
+     * outer pass, so consumers are hot enough for the critic's
+     * contexts to recur and train quickly.
+     */
+    unsigned chainTrips = 4;
+    /** Strong arm biases (taken-arm uses hi, fallthrough-arm lo). */
+    double armBiasHi = 0.97, armBiasLo = 0.03;
+    /// @}
+
+    /** @name Phase-chain motifs (adaptation/self-echo channel). */
+    /// @{
+    /**
+     * Chains of: a cold phase consumer (outcome = the program-wide
+     * hidden phase), diamond arms, then an inner loop whose body
+     * holds a phase revealer. Because the revealer repeats inside
+     * the loop, its own outcome re-enters the history window, so
+     * from the second iteration on *any* history predictor predicts
+     * it with the current phase — a fresh phase signature that
+     * reaches the consumer's critique through the future bits,
+     * while the consumer's own predictor state is stale by design
+     * (it executes only once per outer pass). All chains in a
+     * program share one phase clock.
+     */
+    unsigned numPhaseChains = 6;
+    unsigned phaseClockLo = 400, phaseClockHi = 2500;
+    double phaseNoise = 0.02;
+    /** Inner-loop trip count (revealer instances per pass). */
+    unsigned phaseInnerTrips = 5;
+    /** Outer trips of the whole phase chain (consumer heat). */
+    unsigned phaseChainTrips = 3;
+    /// @}
+
+    /** @name Filler structure. */
+    /// @{
+    /**
+     * Fillers live in small inner-loop segments (hot, so patterns
+     * and local content are within history reach); in-segment
+     * branches draw from [segBiasLo, segBiasHi] to keep the
+     * repeated-context mispredict floor low. A fraction of fillers
+     * are one-shot straight blocks with mid biases, providing
+     * history entropy at diverse contexts.
+     */
+    double segBiasLo = 0.95, segBiasHi = 0.995;
+    double oneShotFrac = 0.15;
+    double oneShotBiasLo = 0.80, oneShotBiasHi = 0.90;
+    /// @}
+
+    /** @name CFG shape. */
+    /// @{
+    /** Probability a filler block's taken edge is a back edge. */
+    double backEdgeProb = 0.30;
+    unsigned maxForwardSkip = 8;
+    unsigned maxBackSkip = 12;
+    /// @}
+};
+
+/** Build the program described by @p recipe. */
+Program generateProgram(const WorkloadRecipe &recipe);
+
+} // namespace pcbp
+
+#endif // PCBP_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,126 @@
+#include "workload/trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'P', 'C', 'B', 'P', 'T', 'R', 'C', '1'};
+
+void
+putU32(std::FILE *f, std::uint32_t v)
+{
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = (v >> (8 * i)) & 0xff;
+    std::fwrite(b, 1, 4, f);
+}
+
+void
+putU64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = (v >> (8 * i)) & 0xff;
+    std::fwrite(b, 1, 8, f);
+}
+
+std::uint32_t
+getU32(std::FILE *f)
+{
+    unsigned char b[4];
+    if (std::fread(b, 1, 4, f) != 4)
+        pcbp_fatal("trace file truncated");
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+std::uint64_t
+getU64(std::FILE *f)
+{
+    unsigned char b[8];
+    if (std::fread(b, 1, 8, f) != 8)
+        pcbp_fatal("trace file truncated");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+} // namespace
+
+void
+saveTrace(const std::string &path,
+          const std::vector<CommittedBranch> &trace)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        pcbp_fatal("cannot open '", path, "' for writing");
+    std::fwrite(magic, 1, sizeof(magic), f);
+    putU64(f, trace.size());
+    for (const auto &r : trace) {
+        putU32(f, r.block);
+        putU64(f, r.pc);
+        unsigned char taken = r.taken ? 1 : 0;
+        std::fwrite(&taken, 1, 1, f);
+        putU32(f, r.numUops);
+    }
+    std::fclose(f);
+}
+
+std::vector<CommittedBranch>
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        pcbp_fatal("cannot open '", path, "' for reading");
+    char got[8];
+    if (std::fread(got, 1, 8, f) != 8 ||
+        std::memcmp(got, magic, 8) != 0) {
+        std::fclose(f);
+        pcbp_fatal("'", path, "' is not a pcbp trace");
+    }
+    const std::uint64_t n = getU64(f);
+    std::vector<CommittedBranch> trace;
+    trace.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        CommittedBranch r;
+        r.block = getU32(f);
+        r.pc = getU64(f);
+        unsigned char taken;
+        if (std::fread(&taken, 1, 1, f) != 1)
+            pcbp_fatal("trace file truncated");
+        r.taken = taken != 0;
+        r.numUops = getU32(f);
+        trace.push_back(r);
+    }
+    std::fclose(f);
+    return trace;
+}
+
+TraceSummary
+summarizeTrace(const std::vector<CommittedBranch> &trace)
+{
+    TraceSummary s;
+    std::set<Addr> pcs;
+    for (const auto &r : trace) {
+        ++s.branches;
+        s.uops += r.numUops;
+        if (r.taken)
+            ++s.takenBranches;
+        pcs.insert(r.pc);
+    }
+    s.staticBranches = pcs.size();
+    return s;
+}
+
+} // namespace pcbp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Committed-branch trace record/replay.
+ *
+ * A trace is the committed (correct-path) branch stream of a program
+ * walk. Traces are useful for conventional predictor evaluation and
+ * for regression tests — but, exactly as §6 of the paper argues, a
+ * linear trace *cannot* drive a prophet/critic hybrid faithfully:
+ * the future bits must be produced by really walking the wrong path
+ * through the CFG. Feeding correct-path outcomes as future bits
+ * gives the critic oracle information (see bench/ablations, which
+ * quantifies the inflation).
+ */
+
+#ifndef PCBP_WORKLOAD_TRACE_HH
+#define PCBP_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/cfg.hh"
+
+namespace pcbp
+{
+
+/**
+ * Write a committed trace to a binary file.
+ *
+ * Format: 16-byte header ("PCBPTRC1" + count), then one record per
+ * branch: u32 block, u64 pc, u8 taken, u32 uops (packed
+ * little-endian).
+ */
+void saveTrace(const std::string &path,
+               const std::vector<CommittedBranch> &trace);
+
+/** Read a trace written by saveTrace (fatal on format errors). */
+std::vector<CommittedBranch> loadTrace(const std::string &path);
+
+/**
+ * Statistics of a committed trace: branch/uop counts, taken rate,
+ * distinct static branches.
+ */
+struct TraceSummary
+{
+    std::uint64_t branches = 0;
+    std::uint64_t uops = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t staticBranches = 0;
+
+    double takenRate() const
+    {
+        return branches ? double(takenBranches) / double(branches) : 0.0;
+    }
+
+    double uopsPerBranch() const
+    {
+        return branches ? double(uops) / double(branches) : 0.0;
+    }
+};
+
+/** Summarize a trace. */
+TraceSummary summarizeTrace(const std::vector<CommittedBranch> &trace);
+
+} // namespace pcbp
+
+#endif // PCBP_WORKLOAD_TRACE_HH

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, saturating
+ * counters, history registers, RNG, and statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bit_utils.hh"
+#include "common/history_register.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+
+namespace pcbp
+{
+namespace
+{
+
+// ------------------------------------------------------------ bit utils
+
+TEST(BitUtils, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(8), 0xffu);
+    EXPECT_EQ(maskBits(64), ~std::uint64_t(0));
+    EXPECT_EQ(maskBits(65), ~std::uint64_t(0));
+}
+
+TEST(BitUtils, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitUtils, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4096), 12u);
+}
+
+TEST(BitUtils, FoldBitsPreservesLowBitsForShortValues)
+{
+    EXPECT_EQ(foldBits(0x5, 8), 0x5u);
+    EXPECT_EQ(foldBits(0x5, 64), 0x5u);
+}
+
+TEST(BitUtils, FoldBitsXorsChunks)
+{
+    // 0xAB in the high byte and 0xCD in the low byte fold to XOR.
+    EXPECT_EQ(foldBits(0xABCD, 8), 0xABu ^ 0xCDu);
+    EXPECT_EQ(foldBits(0xFFFF, 8), 0u);
+}
+
+TEST(BitUtils, FoldBitsZeroWidth)
+{
+    EXPECT_EQ(foldBits(0x1234, 0), 0u);
+}
+
+TEST(BitUtils, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+    // Avalanche sanity: flipping one input bit flips many output bits.
+    const std::uint64_t d = mix64(42) ^ mix64(42 ^ 1);
+    EXPECT_GT(__builtin_popcountll(d), 10);
+}
+
+TEST(BitUtils, SkewHIsBijectiveOverSmallDomains)
+{
+    for (unsigned n : {2u, 3u, 8u, 11u}) {
+        std::set<std::uint64_t> seen;
+        const std::uint64_t domain = std::uint64_t(1) << n;
+        for (std::uint64_t v = 0; v < domain; ++v) {
+            const std::uint64_t h = skewH(v, n);
+            EXPECT_LT(h, domain);
+            seen.insert(h);
+        }
+        EXPECT_EQ(seen.size(), domain) << "n=" << n;
+    }
+}
+
+TEST(BitUtils, SkewHInvInvertsSkewH)
+{
+    for (unsigned n : {2u, 5u, 13u}) {
+        const std::uint64_t domain = std::uint64_t(1) << n;
+        for (std::uint64_t v = 0; v < domain; ++v) {
+            EXPECT_EQ(skewHInv(skewH(v, n), n), v) << "n=" << n;
+            EXPECT_EQ(skewH(skewHInv(v, n), n), v) << "n=" << n;
+        }
+    }
+}
+
+// ----------------------------------------------------------- SatCounter
+
+TEST(SatCounter, TwoBitDefaultPredictsNotTakenAtZero)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, HysteresisNeedsTwoFlips)
+{
+    SatCounter c(2, 3); // strongly taken
+    c.update(false);
+    EXPECT_TRUE(c.taken()) << "one not-taken must not flip";
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, SetWeak)
+{
+    SatCounter c(2, 0);
+    c.setWeak(true);
+    EXPECT_TRUE(c.taken());
+    EXPECT_FALSE(c.saturated());
+    c.setWeak(false);
+    EXPECT_FALSE(c.taken());
+    EXPECT_FALSE(c.saturated());
+}
+
+TEST(SatCounter, ThreeBitMidpoint)
+{
+    SatCounter c(3, 4);
+    EXPECT_TRUE(c.taken());
+    c.set(3);
+    EXPECT_FALSE(c.taken());
+    EXPECT_EQ(c.maxValue(), 7u);
+}
+
+// ------------------------------------------------------ HistoryRegister
+
+TEST(HistoryRegister, StartsClear)
+{
+    HistoryRegister h;
+    for (unsigned i = 0; i < HistoryRegister::capacity; ++i)
+        EXPECT_FALSE(h.bit(i));
+}
+
+TEST(HistoryRegister, ShiftInOrder)
+{
+    HistoryRegister h;
+    h.shiftIn(true);
+    h.shiftIn(false);
+    h.shiftIn(true);
+    // Youngest first: T N T
+    EXPECT_TRUE(h.bit(0));
+    EXPECT_FALSE(h.bit(1));
+    EXPECT_TRUE(h.bit(2));
+    EXPECT_EQ(h.low(3), 0b101u);
+}
+
+TEST(HistoryRegister, ShiftAcrossWordBoundary)
+{
+    HistoryRegister h;
+    // Insert 70 bits: bit i (from the end) is i%3==0.
+    for (int i = 69; i >= 0; --i)
+        h.shiftIn(i % 3 == 0);
+    for (unsigned i = 0; i < 70; ++i)
+        EXPECT_EQ(h.bit(i), i % 3 == 0) << i;
+}
+
+TEST(HistoryRegister, ShiftOutUndoesShiftIn)
+{
+    HistoryRegister h;
+    for (int i = 0; i < 100; ++i)
+        h.shiftIn(i % 7 < 3);
+    HistoryRegister snapshot = h;
+    h.shiftIn(true);
+    h.shiftOut();
+    EXPECT_EQ(h, snapshot);
+}
+
+TEST(HistoryRegister, WindowReadsMiddleBits)
+{
+    HistoryRegister h;
+    for (int i = 15; i >= 0; --i)
+        h.shiftIn(i < 8); // youngest 8 bits set, next 8 clear
+    EXPECT_EQ(h.low(8), 0xffu);
+    EXPECT_EQ(h.window(8, 8), 0x00u);
+    EXPECT_EQ(h.window(4, 8), 0x0fu);
+}
+
+TEST(HistoryRegister, WindowAcrossWordBoundary)
+{
+    HistoryRegister h;
+    for (int i = 0; i < 128; ++i)
+        h.shiftIn(i % 2 == 0);
+    // Bits alternate; any 2-bit window is 01 or 10.
+    const std::uint64_t w = h.window(60, 8);
+    EXPECT_TRUE(w == 0x55u || w == 0xaau) << std::hex << w;
+}
+
+TEST(HistoryRegister, CapacityDropsOldest)
+{
+    HistoryRegister h;
+    h.shiftIn(true);
+    for (unsigned i = 0; i < HistoryRegister::capacity - 1; ++i)
+        h.shiftIn(false);
+    EXPECT_TRUE(h.bit(HistoryRegister::capacity - 1));
+    h.shiftIn(false);
+    EXPECT_FALSE(h.bit(HistoryRegister::capacity - 1));
+}
+
+TEST(HistoryRegister, EqualityAndCopy)
+{
+    HistoryRegister a, b;
+    for (int i = 0; i < 50; ++i) {
+        a.shiftIn(i % 3 == 1);
+        b.shiftIn(i % 3 == 1);
+    }
+    EXPECT_EQ(a, b);
+    b.shiftIn(true);
+    EXPECT_NE(a, b);
+    HistoryRegister c = a;
+    EXPECT_EQ(c, a);
+}
+
+TEST(HistoryRegister, SetBit)
+{
+    HistoryRegister h;
+    h.setBit(5, true);
+    h.setBit(100, true);
+    EXPECT_TRUE(h.bit(5));
+    EXPECT_TRUE(h.bit(100));
+    h.setBit(5, false);
+    EXPECT_FALSE(h.bit(5));
+    EXPECT_TRUE(h.bit(100));
+}
+
+TEST(HistoryRegister, ToStringYoungestLast)
+{
+    HistoryRegister h;
+    h.shiftIn(true);
+    h.shiftIn(false);
+    EXPECT_EQ(h.toString(2), "TN"); // oldest first, youngest last
+}
+
+TEST(HistoryRegister, FoldedLowMatchesManualFold)
+{
+    HistoryRegister h;
+    for (int i = 0; i < 30; ++i)
+        h.shiftIn((i * 7 + 3) % 5 < 2);
+    EXPECT_EQ(h.foldedLow(30, 12), foldBits(h.low(30), 12));
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs |= a.next() != b.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.nextRange(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng r(12);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.nextBool(0.0));
+        EXPECT_TRUE(r.nextBool(1.0));
+    }
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    // The child stream must not replay the parent stream.
+    Rng a2(5);
+    a2.fork();
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs |= child.next() != a2.next();
+    EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(Histogram, MeanAndCount)
+{
+    Histogram h(10, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(25);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(10, 4);
+    h.sample(1000);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_LE(h.percentile(10), h.percentile(50));
+    EXPECT_LE(h.percentile(50), h.percentile(90));
+    EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(10, 4);
+    h.sample(3);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatSet, SetGetAdd)
+{
+    StatSet s;
+    s.set("a", 1.5);
+    s.add("a", 0.5);
+    s.add("b", 2.0);
+    EXPECT_DOUBLE_EQ(s.get("a"), 2.0);
+    EXPECT_DOUBLE_EQ(s.get("b"), 2.0);
+    EXPECT_TRUE(s.has("a"));
+    EXPECT_FALSE(s.has("zzz"));
+    EXPECT_EQ(s.all().size(), 2u);
+}
+
+TEST(TablePrinter, FormatsAligned)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| name "), std::string::npos);
+    EXPECT_NE(s.find("| longer |"), std::string::npos);
+}
+
+TEST(Format, FmtDoubleAndPercent)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtPercent(0.1234, 1), "12.3%");
+}
+
+} // namespace
+} // namespace pcbp

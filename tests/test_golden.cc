@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Golden regression tests: every component of this library is
+ * bit-deterministic, so a handful of exact end-to-end values pin the
+ * whole stack (generator, behaviors, predictors, engine, timing
+ * model). If any of these change, something in the pipeline changed
+ * behavior — intentionally or not — and EXPERIMENTS.md numbers must
+ * be regenerated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.hh"
+
+namespace pcbp
+{
+namespace
+{
+
+TEST(Golden, AccuracyEngineHybridOnMmMpeg)
+{
+    const Workload &w = workloadByName("mm.mpeg");
+    EngineConfig cfg;
+    cfg.measureBranches = 20000;
+    cfg.warmupBranches = 2000;
+    const EngineStats st = runAccuracy(
+        w,
+        hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8),
+        cfg);
+    EXPECT_EQ(st.finalMispredicts, 1561u);
+    EXPECT_EQ(st.committedUops, 370209u);
+    EXPECT_EQ(st.criticOverrides, 644u);
+    EXPECT_EQ(st.critiques.get(CritiqueClass::CorrectAgree), 6017u);
+}
+
+TEST(Golden, AccuracyEngineProphetAloneOnFpSwim)
+{
+    const Workload &w = workloadByName("fp.swim");
+    EngineConfig cfg;
+    cfg.measureBranches = 10000;
+    cfg.warmupBranches = 1000;
+    const EngineStats st = runAccuracy(
+        w, prophetAlone(ProphetKind::GSkew, Budget::B16KB), cfg);
+    EXPECT_EQ(st.finalMispredicts, 640u);
+    EXPECT_EQ(st.committedUops, 273827u);
+    EXPECT_EQ(st.btbMisses, 61u);
+}
+
+TEST(Golden, TimingModelHybridOnWebJbb)
+{
+    const Workload &w = workloadByName("web.jbb");
+    TimingConfig cfg;
+    cfg.measureBranches = 8000;
+    cfg.warmupBranches = 800;
+    Program p = buildProgram(w);
+    auto h = hybridSpec(ProphetKind::GSkew, Budget::B8KB,
+                        CriticKind::TaggedGshare, Budget::B8KB, 4)
+                 .build();
+    const TimingStats st = TimingSim(p, *h, cfg).run();
+    EXPECT_EQ(st.cycles, 103110u);
+    EXPECT_EQ(st.committedUops, 96568u);
+    EXPECT_EQ(st.finalMispredicts, 2102u);
+}
+
+} // namespace
+} // namespace pcbp

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the FTQ and the cycle-level timing model: bounds,
+ * bandwidth limits, flush behavior, and agreement with the accuracy
+ * engine on what commits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.hh"
+#include "sim/ftq.hh"
+#include "sim/timing.hh"
+
+namespace pcbp
+{
+namespace
+{
+
+FtqEntry
+entry(BlockId b, bool critiqued = false)
+{
+    FtqEntry e;
+    e.block = b;
+    e.pc = 0x1000 + b * 16;
+    e.numUops = 8;
+    e.uopsLeft = 8;
+    e.critiqued = critiqued;
+    return e;
+}
+
+// -------------------------------------------------------------------- FTQ
+
+TEST(Ftq, CapacityAndFifo)
+{
+    Ftq q(3);
+    EXPECT_TRUE(q.empty());
+    q.push(entry(0));
+    q.push(entry(1));
+    q.push(entry(2));
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.head().block, 0u);
+    q.popHead();
+    EXPECT_EQ(q.head().block, 1u);
+    EXPECT_FALSE(q.full());
+}
+
+TEST(Ftq, OldestUncriticized)
+{
+    Ftq q(8);
+    q.push(entry(0, true));
+    q.push(entry(1, true));
+    q.push(entry(2, false));
+    q.push(entry(3, false));
+    auto idx = q.oldestUncriticized();
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 2u);
+}
+
+TEST(Ftq, OldestUncriticizedNoneWhenAllDone)
+{
+    Ftq q(4);
+    q.push(entry(0, true));
+    EXPECT_FALSE(q.oldestUncriticized().has_value());
+}
+
+TEST(Ftq, FlushYoungerThanKeepsPrefix)
+{
+    Ftq q(8);
+    for (BlockId i = 0; i < 5; ++i)
+        q.push(entry(i));
+    EXPECT_EQ(q.flushYoungerThan(1), 3u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.at(1).block, 1u);
+}
+
+TEST(Ftq, FlushAll)
+{
+    Ftq q(8);
+    q.push(entry(0));
+    q.push(entry(1));
+    EXPECT_EQ(q.flushAll(), 2u);
+    EXPECT_TRUE(q.empty());
+}
+
+// ----------------------------------------------------------------- Timing
+
+TimingConfig
+smallTiming(std::uint64_t branches = 20000)
+{
+    TimingConfig cfg;
+    cfg.measureBranches = branches;
+    cfg.warmupBranches = branches / 10;
+    return cfg;
+}
+
+TEST(Timing, UpcBoundedByMachineWidth)
+{
+    const Workload &w = workloadByName("fp.swim");
+    Program p = buildProgram(w);
+    auto h = prophetAlone(ProphetKind::Perceptron, Budget::B16KB).build();
+    TimingSim sim(p, *h, smallTiming());
+    const TimingStats st = sim.run();
+    EXPECT_GT(st.upc(), 0.5);
+    EXPECT_LE(st.upc(), 6.0) << "cannot beat the 6-uop fetch width";
+}
+
+TEST(Timing, CommitsConfiguredWork)
+{
+    const Workload &w = workloadByName("mm.mpeg");
+    Program p = buildProgram(w);
+    auto h = prophetAlone(ProphetKind::Gshare, Budget::B8KB).build();
+    const auto cfg = smallTiming(10000);
+    TimingSim sim(p, *h, cfg);
+    const TimingStats st = sim.run();
+    EXPECT_EQ(st.committedBranches, cfg.measureBranches);
+    EXPECT_GT(st.committedUops, st.committedBranches * 4);
+}
+
+TEST(Timing, BetterPredictionHigherUpc)
+{
+    const Workload &w = workloadByName("int.crafty");
+    Program p1 = buildProgram(w);
+    auto good =
+        prophetAlone(ProphetKind::Perceptron, Budget::B32KB).build();
+    const double upc_good =
+        TimingSim(p1, *good, smallTiming()).run().upc();
+
+    Program p2 = buildProgram(w);
+    auto bad =
+        prophetAlone(ProphetKind::AlwaysNotTaken, Budget::B2KB).build();
+    const double upc_bad =
+        TimingSim(p2, *bad, smallTiming()).run().upc();
+
+    EXPECT_GT(upc_good, upc_bad * 1.2)
+        << "mispredict flushes must cost cycles";
+}
+
+TEST(Timing, FetchedAtLeastCommitted)
+{
+    const Workload &w = workloadByName("web.jbb");
+    Program p = buildProgram(w);
+    auto h = prophetAlone(ProphetKind::Gshare, Budget::B8KB).build();
+    TimingSim sim(p, *h, smallTiming());
+    const TimingStats st = sim.run();
+    EXPECT_GE(st.fetchedUops + 64, st.committedUops)
+        << "every committed uop was fetched (within measure-window "
+           "boundary fuzz)";
+    EXPECT_GE(st.fetchedUops, st.wrongPathFetchedUops);
+}
+
+TEST(Timing, MispredictsCauseWrongPathFetch)
+{
+    const Workload &w = workloadByName("serv.tpcc");
+    Program p = buildProgram(w);
+    auto h = prophetAlone(ProphetKind::Gshare, Budget::B2KB).build();
+    TimingSim sim(p, *h, smallTiming());
+    const TimingStats st = sim.run();
+    EXPECT_GT(st.finalMispredicts, 0u);
+    EXPECT_GT(st.wrongPathFetchedUops, 0u);
+}
+
+TEST(Timing, CriticOverridesHappenInFtq)
+{
+    const Workload &w = workloadByName("int.crafty");
+    Program p = buildProgram(w);
+    auto h = hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                        CriticKind::TaggedGshare, Budget::B8KB, 8)
+                 .build();
+    TimingSim sim(p, *h, smallTiming());
+    const TimingStats st = sim.run();
+    EXPECT_GT(st.criticOverrides, 0u);
+    EXPECT_GT(st.ftqEntriesFlushedByCritic, 0u);
+}
+
+TEST(Timing, PartialCritiquesRareAtEightBits)
+{
+    // §5's claim: <0.1% of the time the cache needs a prediction
+    // whose critique lacks its future bits (8 fb, prophet 2x faster
+    // than the critic). Allow some slack for our smaller runs.
+    const Workload &w = workloadByName("mm.mpeg");
+    Program p = buildProgram(w);
+    auto h = hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                        CriticKind::TaggedGshare, Budget::B8KB, 8)
+                 .build();
+    TimingSim sim(p, *h, smallTiming());
+    const TimingStats st = sim.run();
+    EXPECT_LT(double(st.partialCritiques) / double(st.committedBranches),
+              0.02);
+}
+
+TEST(Timing, DeterministicAcrossRuns)
+{
+    const Workload &w = workloadByName("ws.cad");
+    const auto spec =
+        hybridSpec(ProphetKind::GSkew, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 4);
+    Program p1 = buildProgram(w);
+    auto h1 = spec.build();
+    const TimingStats a = TimingSim(p1, *h1, smallTiming()).run();
+    Program p2 = buildProgram(w);
+    auto h2 = spec.build();
+    const TimingStats b = TimingSim(p2, *h2, smallTiming()).run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committedUops, b.committedUops);
+    EXPECT_EQ(a.finalMispredicts, b.finalMispredicts);
+}
+
+TEST(Timing, FtqDeeperThanFutureBitsRequired)
+{
+    const Workload &w = workloadByName("mm.mpeg");
+    Program p = buildProgram(w);
+    auto h = hybridSpec(ProphetKind::Gshare, Budget::B2KB,
+                        CriticKind::TaggedGshare, Budget::B2KB, 12)
+                 .build();
+    TimingConfig cfg = smallTiming();
+    cfg.ftqSize = 8;
+    EXPECT_DEATH(TimingSim(p, *h, cfg),
+                 "FTQ must be deeper than the future-bit count");
+}
+
+TEST(Timing, AgreesWithEngineOnCommittedWork)
+{
+    // The two simulators share the committed path: same workload,
+    // same branch count => same committed uops.
+    const Workload &w = workloadByName("fp.ammp");
+    const auto spec = prophetAlone(ProphetKind::Gshare, Budget::B8KB);
+
+    EngineConfig ecfg;
+    ecfg.measureBranches = 15000;
+    ecfg.warmupBranches = 1500;
+    Program p1 = buildProgram(w);
+    auto h1 = spec.build();
+    const EngineStats es = Engine(p1, *h1, ecfg).run();
+
+    TimingConfig tcfg;
+    tcfg.measureBranches = 15000;
+    tcfg.warmupBranches = 1500;
+    Program p2 = buildProgram(w);
+    auto h2 = spec.build();
+    const TimingStats ts = TimingSim(p2, *h2, tcfg).run();
+
+    EXPECT_EQ(es.committedBranches, ts.committedBranches);
+    EXPECT_NEAR(double(es.committedUops), double(ts.committedUops),
+                double(es.committedUops) * 0.01);
+}
+
+} // namespace
+} // namespace pcbp

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Unit tests for the workload substrate: behavior models, the CFG
+ * program model, the generator, the suite registry, and trace
+ * record/replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "workload/behavior.hh"
+#include "workload/cfg.hh"
+#include "workload/generator.hh"
+#include "workload/suites.hh"
+#include "workload/trace.hh"
+
+namespace pcbp
+{
+namespace
+{
+
+ArchContext
+ctxOf(const HistoryRegister &h, std::uint64_t t = 0)
+{
+    return ArchContext{h, t};
+}
+
+// -------------------------------------------------------------- behaviors
+
+TEST(Behavior, BiasedRate)
+{
+    BiasedBehavior b(0.8, 42);
+    HistoryRegister h;
+    int taken = 0;
+    for (int i = 0; i < 10000; ++i)
+        taken += b.nextOutcome(ctxOf(h)) ? 1 : 0;
+    EXPECT_NEAR(taken / 10000.0, 0.8, 0.03);
+}
+
+TEST(Behavior, BiasedResetReplays)
+{
+    BiasedBehavior b(0.5, 7);
+    HistoryRegister h;
+    std::vector<bool> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(b.nextOutcome(ctxOf(h)));
+    b.reset();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(b.nextOutcome(ctxOf(h)), first[i]);
+}
+
+TEST(Behavior, LoopPeriod)
+{
+    LoopBehavior l(4);
+    HistoryRegister h;
+    // T T T N repeating.
+    for (int rep = 0; rep < 3; ++rep) {
+        EXPECT_TRUE(l.nextOutcome(ctxOf(h)));
+        EXPECT_TRUE(l.nextOutcome(ctxOf(h)));
+        EXPECT_TRUE(l.nextOutcome(ctxOf(h)));
+        EXPECT_FALSE(l.nextOutcome(ctxOf(h)));
+    }
+}
+
+TEST(Behavior, PatternCycles)
+{
+    PatternBehavior p({true, false, false}, 0.0, 1);
+    HistoryRegister h;
+    for (int rep = 0; rep < 4; ++rep) {
+        EXPECT_TRUE(p.nextOutcome(ctxOf(h)));
+        EXPECT_FALSE(p.nextOutcome(ctxOf(h)));
+        EXPECT_FALSE(p.nextOutcome(ctxOf(h)));
+    }
+}
+
+TEST(Behavior, GlobalEchoCopiesLaggedBit)
+{
+    GlobalEchoBehavior e(3, false, 0.0, 1);
+    HistoryRegister h;
+    h.shiftIn(true);  // lag 3 after three more shifts
+    h.shiftIn(false);
+    h.shiftIn(false);
+    h.shiftIn(false);
+    EXPECT_TRUE(e.nextOutcome(ctxOf(h)));
+}
+
+TEST(Behavior, GlobalEchoInvert)
+{
+    GlobalEchoBehavior e(0, true, 0.0, 1);
+    HistoryRegister h;
+    h.shiftIn(true);
+    EXPECT_FALSE(e.nextOutcome(ctxOf(h)));
+}
+
+TEST(Behavior, GlobalXorOfLags)
+{
+    GlobalXorBehavior x(0, 2, false, 0.0, 1);
+    HistoryRegister h;
+    h.shiftIn(true);  // bit 2 after two more shifts
+    h.shiftIn(false); // bit 1
+    h.shiftIn(true);  // bit 0
+    // bits: [0]=T [1]=N [2]=T
+    EXPECT_FALSE(x.nextOutcome(ctxOf(h))) << "T xor T = N";
+    h.shiftIn(true);
+    // bits: [0]=T [1]=T [2]=N
+    EXPECT_TRUE(x.nextOutcome(ctxOf(h))) << "T xor N = T";
+    h.shiftIn(false);
+    // bits: [0]=N [1]=T [2]=T
+    EXPECT_TRUE(x.nextOutcome(ctxOf(h))) << "N xor T = T";
+}
+
+TEST(Behavior, GlobalParityWidth)
+{
+    GlobalParityBehavior p(0, 3, false, 0.0, 1);
+    HistoryRegister h;
+    h.shiftIn(true);
+    h.shiftIn(true);
+    h.shiftIn(false);
+    // bits 0..2 = {0,1,1}: parity odd? two ones -> even -> false.
+    EXPECT_FALSE(p.nextOutcome(ctxOf(h)));
+    h.shiftIn(true); // bits {1,0,1}: two ones -> even -> false
+    EXPECT_FALSE(p.nextOutcome(ctxOf(h)));
+    h.shiftIn(false); // bits {0,1,0}: one -> odd -> true
+    EXPECT_TRUE(p.nextOutcome(ctxOf(h)));
+}
+
+TEST(Behavior, LocalParityDeterministicAndBalanced)
+{
+    LocalParityBehavior l(5, 0.0, 3);
+    HistoryRegister h;
+    int taken = 0;
+    for (int i = 0; i < 2000; ++i)
+        taken += l.nextOutcome(ctxOf(h)) ? 1 : 0;
+    // Self-referential parity oscillates; roughly balanced.
+    EXPECT_GT(taken, 100) << "both outcomes must occur";
+    EXPECT_LT(taken, 1900);
+}
+
+TEST(Behavior, PhaseClockSharedAcrossInstances)
+{
+    PhaseClockSpec spec;
+    spec.seed = 99;
+    spec.lo = 100;
+    spec.hi = 200;
+    PhaseClock a(spec), b(spec);
+    for (std::uint64_t t = 0; t < 5000; t += 7)
+        EXPECT_EQ(a.phaseAt(t), b.phaseAt(t));
+}
+
+TEST(Behavior, PhaseClockFlips)
+{
+    PhaseClockSpec spec;
+    spec.seed = 5;
+    spec.lo = 50;
+    spec.hi = 80;
+    PhaseClock c(spec);
+    int flips = 0;
+    bool last = c.phaseAt(0);
+    for (std::uint64_t t = 1; t < 2000; ++t) {
+        const bool ph = c.phaseAt(t);
+        flips += ph != last;
+        last = ph;
+    }
+    EXPECT_GE(flips, 20);
+    EXPECT_LE(flips, 45);
+}
+
+TEST(Behavior, PhaseRevealTracksClock)
+{
+    PhaseClockSpec spec;
+    spec.seed = 11;
+    spec.lo = 300;
+    spec.hi = 400;
+    PhaseRevealBehavior r(spec, 1.0, 1);
+    PhaseClock c(spec);
+    HistoryRegister h;
+    for (std::uint64_t t = 0; t < 2000; t += 3)
+        EXPECT_EQ(r.nextOutcome(ctxOf(h, t)), c.phaseAt(t));
+}
+
+TEST(Behavior, PhaseXorCombinesClockAndPattern)
+{
+    PhaseClockSpec spec;
+    spec.seed = 31;
+    spec.lo = 1000;
+    spec.hi = 1000; // phase 0 for t < 1000, phase 1 after
+    PhaseXorBehavior px(spec, {true, false}, 0.0, 1);
+    HistoryRegister h;
+    // Phase 0: outcome = pattern directly (T, N, T, N...).
+    EXPECT_TRUE(px.nextOutcome(ctxOf(h, 0)));
+    EXPECT_FALSE(px.nextOutcome(ctxOf(h, 1)));
+    // Phase 1: outcome = pattern inverted.
+    EXPECT_FALSE(px.nextOutcome(ctxOf(h, 1500)));
+    EXPECT_TRUE(px.nextOutcome(ctxOf(h, 1501)));
+}
+
+TEST(Behavior, PhaseXorResetRestartsPatternAndClock)
+{
+    PhaseClockSpec spec;
+    spec.seed = 32;
+    spec.lo = 50;
+    spec.hi = 120;
+    PhaseXorBehavior px(spec, {true, true, false}, 0.0, 2);
+    HistoryRegister h;
+    std::vector<bool> first;
+    for (std::uint64_t t = 0; t < 300; ++t)
+        first.push_back(px.nextOutcome(ctxOf(h, t)));
+    px.reset();
+    for (std::uint64_t t = 0; t < 300; ++t)
+        EXPECT_EQ(px.nextOutcome(ctxOf(h, t)), first[t]) << t;
+}
+
+TEST(Behavior, PhasedLoopSwitchesTripCount)
+{
+    PhaseClockSpec spec;
+    spec.seed = 21;
+    spec.lo = 1000;
+    spec.hi = 1000;
+    PhasedLoopBehavior pl(spec, 2, 5);
+    HistoryRegister h;
+    // Phase 0 at t=0: period 2 -> T N.
+    EXPECT_TRUE(pl.nextOutcome(ctxOf(h, 0)));
+    EXPECT_FALSE(pl.nextOutcome(ctxOf(h, 1)));
+    // Phase 1 from t=1000: period 5 -> T T T T N.
+    int taken = 0;
+    for (int i = 0; i < 5; ++i)
+        taken += pl.nextOutcome(ctxOf(h, 1500 + i)) ? 1 : 0;
+    EXPECT_EQ(taken, 4);
+}
+
+// -------------------------------------------------------------------- CFG
+
+TEST(Program, ValidateCatchesBadTargets)
+{
+    Program p("bad");
+    BasicBlock b;
+    b.branchPc = 0x1000;
+    b.numUops = 4;
+    b.takenTarget = 7; // out of range
+    b.fallthroughTarget = 0;
+    b.behavior = std::make_unique<BiasedBehavior>(0.5, 1);
+    p.addBlock(std::move(b));
+    EXPECT_DEATH(p.validate(), "target out of range");
+}
+
+TEST(Program, WalkFollowsOutcomes)
+{
+    Program p("walk");
+    for (int i = 0; i < 2; ++i) {
+        BasicBlock b;
+        b.branchPc = 0x1000 + i * 16;
+        b.numUops = 5;
+        b.takenTarget = static_cast<BlockId>(1 - i);
+        b.fallthroughTarget = static_cast<BlockId>(1 - i);
+        b.behavior = std::make_unique<BiasedBehavior>(1.0, 1);
+        p.addBlock(std::move(b));
+    }
+    auto trace = walkProgram(p, 6);
+    ASSERT_EQ(trace.size(), 6u);
+    // Alternates 0 -> 1 -> 0 ...
+    EXPECT_EQ(trace[0].block, 0u);
+    EXPECT_EQ(trace[1].block, 1u);
+    EXPECT_EQ(trace[2].block, 0u);
+    for (const auto &r : trace) {
+        EXPECT_TRUE(r.taken);
+        EXPECT_EQ(r.numUops, 5u);
+    }
+}
+
+TEST(Program, WalkIsRepeatable)
+{
+    const Workload &w = workloadByName("mm.mpeg");
+    Program p = buildProgram(w);
+    auto t1 = walkProgram(p, 5000);
+    auto t2 = walkProgram(p, 5000); // resetWalk inside
+    ASSERT_EQ(t1.size(), t2.size());
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i].block, t2[i].block);
+        EXPECT_EQ(t1[i].taken, t2[i].taken);
+    }
+}
+
+// -------------------------------------------------------------- generator
+
+TEST(Generator, DeterministicForSeed)
+{
+    WorkloadRecipe r;
+    r.targetBlocks = 200;
+    r.seed = 77;
+    Program a = generateProgram(r);
+    Program b = generateProgram(r);
+    ASSERT_EQ(a.numBlocks(), b.numBlocks());
+    for (BlockId i = 0; i < a.numBlocks(); ++i) {
+        EXPECT_EQ(a.block(i).branchPc, b.block(i).branchPc);
+        EXPECT_EQ(a.block(i).takenTarget, b.block(i).takenTarget);
+        EXPECT_EQ(a.block(i).behavior->describe(),
+                  b.block(i).behavior->describe());
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    WorkloadRecipe r;
+    r.targetBlocks = 200;
+    r.seed = 1;
+    Program a = generateProgram(r);
+    r.seed = 2;
+    Program b = generateProgram(r);
+    bool differs = a.numBlocks() != b.numBlocks();
+    for (BlockId i = 0; !differs && i < a.numBlocks(); ++i)
+        differs = a.block(i).behavior->describe() !=
+                  b.block(i).behavior->describe();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Generator, ContainsRequestedMotifs)
+{
+    WorkloadRecipe r;
+    r.targetBlocks = 400;
+    r.numChains = 5;
+    r.numPhaseChains = 5;
+    Program p = generateProgram(r);
+    int xors = 0, echoes = 0, reveals = 0;
+    for (BlockId i = 0; i < p.numBlocks(); ++i) {
+        const std::string d = p.block(i).behavior->describe();
+        xors += d.rfind("global-xor", 0) == 0;
+        echoes += d.rfind("global-echo", 0) == 0;
+        reveals += d.rfind("phase-reveal", 0) == 0;
+    }
+    EXPECT_EQ(xors, 5) << "one XOR consumer per echo chain";
+    EXPECT_EQ(echoes, 10) << "two relays per echo chain";
+    EXPECT_EQ(reveals, 10) << "consumer + inner revealer per phase chain";
+}
+
+TEST(Generator, UopsWithinRange)
+{
+    WorkloadRecipe r;
+    r.targetBlocks = 150;
+    r.minUops = 5;
+    r.maxUops = 9;
+    Program p = generateProgram(r);
+    for (BlockId i = 0; i < p.numBlocks(); ++i) {
+        EXPECT_GE(p.block(i).numUops, 5u);
+        EXPECT_LE(p.block(i).numUops, 9u);
+    }
+}
+
+TEST(Generator, WalkTouchesManyBlocks)
+{
+    WorkloadRecipe r;
+    r.targetBlocks = 300;
+    Program p = generateProgram(r);
+    auto trace = walkProgram(p, 30000);
+    std::set<BlockId> seen;
+    for (const auto &t : trace)
+        seen.insert(t.block);
+    EXPECT_GT(seen.size(), p.numBlocks() / 2)
+        << "most of the program should be reachable";
+}
+
+// ----------------------------------------------------------------- suites
+
+TEST(Suites, RegistryComplete)
+{
+    EXPECT_GE(allWorkloads().size(), 21u);
+    EXPECT_EQ(fig5Set().size(), 6u);
+    EXPECT_EQ(avgSet().size(), 14u);
+    for (const auto &s : allSuites())
+        EXPECT_EQ(suiteWorkloads(s).size(), 2u) << s;
+}
+
+TEST(Suites, NamesResolve)
+{
+    for (const char *n : {"unzip", "premiere", "msvc7", "flash",
+                          "facerec", "tpcc", "gcc"})
+        EXPECT_EQ(workloadByName(n).name, n);
+}
+
+TEST(Suites, ProgramsBuildAndValidate)
+{
+    for (const auto &w : allWorkloads()) {
+        Program p = buildProgram(w);
+        EXPECT_GT(p.numBlocks(), 50u) << w.name;
+    }
+}
+
+TEST(Suites, UopsPerBranchNearThirteen)
+{
+    // The paper: IA32 conditional branches every ~13 uops on
+    // average. Our default recipes target the same order.
+    double total_uops = 0, total_branches = 0;
+    for (const Workload *w : avgSet()) {
+        Program p = buildProgram(*w);
+        auto trace = walkProgram(p, 20000);
+        for (const auto &t : trace) {
+            total_uops += t.numUops;
+            ++total_branches;
+        }
+    }
+    const double upb = total_uops / total_branches;
+    EXPECT_GT(upb, 8.0);
+    EXPECT_LT(upb, 20.0);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    const Workload &w = workloadByName("fp.swim");
+    Program p = buildProgram(w);
+    auto trace = walkProgram(p, 3000);
+
+    const std::string path = "/tmp/pcbp_trace_test.bin";
+    saveTrace(path, trace);
+    auto loaded = loadTrace(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded[i].block, trace[i].block);
+        EXPECT_EQ(loaded[i].pc, trace[i].pc);
+        EXPECT_EQ(loaded[i].taken, trace[i].taken);
+        EXPECT_EQ(loaded[i].numUops, trace[i].numUops);
+    }
+}
+
+TEST(Trace, Summary)
+{
+    std::vector<CommittedBranch> t = {
+        {0, 0x1000, true, 5},
+        {1, 0x1010, false, 7},
+        {0, 0x1000, true, 5},
+    };
+    const TraceSummary s = summarizeTrace(t);
+    EXPECT_EQ(s.branches, 3u);
+    EXPECT_EQ(s.uops, 17u);
+    EXPECT_EQ(s.takenBranches, 2u);
+    EXPECT_EQ(s.staticBranches, 2u);
+    EXPECT_NEAR(s.takenRate(), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(s.uopsPerBranch(), 17.0 / 3.0, 1e-9);
+}
+
+} // namespace
+} // namespace pcbp
