@@ -9,13 +9,17 @@
  * average); beyond that, unzip keeps improving to 12, premiere is
  * front-loaded, msvc7 peaks near 8, flash peaks near 4, facerec is
  * insensitive, and tpcc never benefits past 1.
+ *
+ * The grid (1 config family x 5 future-bit settings x 6 workloads)
+ * runs on the sweep subsystem: cells are sharded across cores by the
+ * work-stealing pool and the table is assembled from the store.
  */
 
 #include <iostream>
 #include <vector>
 
 #include "common/stats.hh"
-#include "sim/driver.hh"
+#include "sweep/runner.hh"
 
 using namespace pcbp;
 
@@ -24,6 +28,26 @@ main()
 {
     const std::vector<unsigned> future_bits = {0, 1, 4, 8, 12};
     const auto set = fig5Set();
+
+    SweepSpec sweep;
+    sweep.name = "fig5";
+    sweep.axes.prophets = {ProphetKind::Perceptron};
+    sweep.axes.prophetBudgets = {Budget::B8KB};
+    sweep.axes.critics = {CriticKind::TaggedGshare};
+    sweep.axes.criticBudgets = {Budget::B8KB};
+    sweep.axes.futureBits = future_bits;
+    sweep.workloads = {"FIG5"};
+
+    ResultStore store;
+    runSweep(sweep, store);
+    const auto cells = sweep.cells();
+
+    auto misp = [&](const Workload *w, unsigned fb) {
+        for (const auto &cell : cells)
+            if (cell.workload == w && cell.spec.futureBits == fb)
+                return store.statsFor(cell).mispPerKuops();
+        pcbp_fatal("fig5: no cell for ", w->name, " @", fb, "fb");
+    };
 
     std::cout << "=== Figure 5: effect of the number of future bits ===\n"
               << "prophet: 8KB perceptron; critic: 8KB tagged gshare\n"
@@ -49,12 +73,9 @@ main()
     for (std::size_t wi = 0; wi < set.size(); ++wi) {
         std::vector<std::string> row = {set[wi]->name};
         for (unsigned fb : future_bits) {
-            const auto spec =
-                hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
-                           CriticKind::TaggedGshare, Budget::B8KB, fb);
-            const EngineStats st = runAccuracy(*set[wi], spec);
-            per_bench[wi].push_back(st.mispPerKuops());
-            row.push_back(fmtDouble(st.mispPerKuops(), 3));
+            const double m = misp(set[wi], fb);
+            per_bench[wi].push_back(m);
+            row.push_back(fmtDouble(m, 3));
         }
         row.push_back(shapes[wi]);
         table.addRow(row);

@@ -15,13 +15,18 @@
  * Paper shapes: adding any critic beats the prophet alone; larger
  * critics help; filtering keeps high-future-bit configurations from
  * regressing as hard as the unfiltered critic.
+ *
+ * Each panel is one declarative sweep (2 prophet budgets x
+ * {baseline, 3 critic budgets x 4 future-bit counts} x 14 AVG
+ * workloads = 364 cells) run on the sweep subsystem.
  */
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
 #include "common/stats.hh"
-#include "sim/driver.hh"
+#include "sweep/runner.hh"
 
 using namespace pcbp;
 
@@ -32,28 +37,50 @@ void
 runPanel(const char *title, ProphetKind prophet, CriticKind critic)
 {
     std::cout << "--- " << title << " ---\n";
-    const auto set = avgSet();
     const std::vector<Budget> prophet_sizes = {Budget::B4KB,
                                                Budget::B16KB};
     const std::vector<Budget> critic_sizes = {Budget::B2KB, Budget::B8KB,
                                               Budget::B32KB};
     const std::vector<unsigned> future_bits = {1, 4, 8, 12};
 
+    SweepSpec sweep;
+    sweep.name = "fig6";
+    sweep.axes.prophets = {prophet};
+    sweep.axes.prophetBudgets = prophet_sizes;
+    sweep.axes.critics = {std::nullopt, critic};
+    sweep.axes.criticBudgets = critic_sizes;
+    sweep.axes.futureBits = future_bits;
+    sweep.workloads = {"AVG"};
+
+    ResultStore store;
+    runSweep(sweep, store);
+    const auto cells = sweep.cells();
+
     TablePrinter table({"configuration", "no critic", "1 fb", "4 fb",
                         "8 fb", "12 fb"});
     for (Budget pb : prophet_sizes) {
         const double alone =
-            runSetAggregated(set, prophetAlone(prophet, pb))
-                .mispPerKuops;
+            aggregateCells(store, cells, [&](const SweepCell &c) {
+                return c.spec.prophetBudget == pb && !c.spec.critic;
+            }).mispPerKuops;
         for (Budget cb : critic_sizes) {
             std::vector<std::string> row = {
                 budgetName(pb) + " prophet + " + budgetName(cb) +
                 " critic",
                 fmtDouble(alone, 3)};
             for (unsigned fb : future_bits) {
-                const auto agg = runSetAggregated(
-                    set, hybridSpec(prophet, pb, critic, cb, fb));
-                row.push_back(fmtDouble(agg.mispPerKuops, 3));
+                const double m =
+                    aggregateCells(store, cells,
+                                   [&](const SweepCell &c) {
+                                       return c.spec.prophetBudget ==
+                                                  pb &&
+                                              c.spec.critic &&
+                                              c.spec.criticBudget ==
+                                                  cb &&
+                                              c.spec.futureBits == fb;
+                                   })
+                        .mispPerKuops;
+                row.push_back(fmtDouble(m, 3));
             }
             table.addRow(row);
         }

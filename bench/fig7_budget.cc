@@ -8,13 +8,20 @@
  * Paper numbers: hybrids reduce the mispredict rate by 15-31%
  * relative to the conventional predictor of the same total size,
  * with the tagged gshare critic reaching 25-31%.
+ *
+ * Each budget point composes two declarative sweeps against one
+ * store — baselines (3 prophets at the full budget, no critic) and
+ * hybrids (3 prophets x 2 critics at half/half) — since a single
+ * cartesian grid would also generate full-budget hybrids and
+ * half-budget baselines the figure never reads.
  */
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
 #include "common/stats.hh"
-#include "sim/driver.hh"
+#include "sweep/runner.hh"
 
 using namespace pcbp;
 
@@ -24,8 +31,34 @@ namespace
 void
 runBudget(Budget total, Budget half)
 {
-    const auto set = avgSet();
     const unsigned fb = 8;
+    const std::vector<ProphetKind> prophets = {
+        ProphetKind::Gshare, ProphetKind::GSkew,
+        ProphetKind::Perceptron};
+
+    SweepSpec base;
+    base.name = "fig7-" + budgetName(total) + "-baseline";
+    base.axes.prophets = prophets;
+    base.axes.prophetBudgets = {total};
+    base.axes.critics = {std::nullopt};
+    base.workloads = {"AVG"};
+
+    SweepSpec hyb;
+    hyb.name = "fig7-" + budgetName(total) + "-hybrid";
+    hyb.axes.prophets = prophets;
+    hyb.axes.prophetBudgets = {half};
+    hyb.axes.critics = {CriticKind::FilteredPerceptron,
+                        CriticKind::TaggedGshare};
+    hyb.axes.criticBudgets = {half};
+    hyb.axes.futureBits = {fb};
+    hyb.workloads = {"AVG"};
+
+    ResultStore store;
+    runSweep(base, store);
+    runSweep(hyb, store);
+    auto cells = base.cells();
+    const auto hyb_cells = hyb.cells();
+    cells.insert(cells.end(), hyb_cells.begin(), hyb_cells.end());
 
     std::cout << "--- " << budgetName(total) << " total budget ---\n";
     TablePrinter table({"predictor", "misp/Kuops", "reduction"});
@@ -33,15 +66,21 @@ runBudget(Budget total, Budget half)
     for (ProphetKind p : {ProphetKind::Gshare, ProphetKind::GSkew,
                           ProphetKind::Perceptron}) {
         const double conv =
-            runSetAggregated(set, prophetAlone(p, total)).mispPerKuops;
+            aggregateCells(store, cells, [&](const SweepCell &c) {
+                return c.spec.prophet == p &&
+                       c.spec.prophetBudget == total && !c.spec.critic;
+            }).mispPerKuops;
         table.addRow({budgetName(total) + " " + prophetKindName(p),
                       fmtDouble(conv, 3), "(baseline)"});
 
         for (CriticKind c : {CriticKind::FilteredPerceptron,
                              CriticKind::TaggedGshare}) {
             const double hyb =
-                runSetAggregated(set, hybridSpec(p, half, c, half, fb))
-                    .mispPerKuops;
+                aggregateCells(store, cells, [&](const SweepCell &k) {
+                    return k.spec.prophet == p &&
+                           k.spec.prophetBudget == half &&
+                           k.spec.critic && *k.spec.critic == c;
+                }).mispPerKuops;
             table.addRow({budgetName(half) + " " + prophetKindName(p) +
                               " + " + budgetName(half) + " " +
                               criticKindName(c),

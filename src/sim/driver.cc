@@ -1,10 +1,9 @@
 #include "sim/driver.hh"
 
-#include <atomic>
 #include <cstdlib>
-#include <thread>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace pcbp
 {
@@ -108,30 +107,9 @@ std::vector<EngineStats>
 runSet(const std::vector<const Workload *> &set, const HybridSpec &spec)
 {
     std::vector<EngineStats> results(set.size());
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    const unsigned workers =
-        std::min<unsigned>(hw, static_cast<unsigned>(set.size()));
-
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < set.size(); ++i)
-            results[i] = runAccuracy(*set[i], spec);
-        return results;
-    }
-
-    std::vector<std::thread> pool;
-    std::atomic<std::size_t> next{0};
-    for (unsigned t = 0; t < workers; ++t) {
-        pool.emplace_back([&] {
-            for (;;) {
-                const std::size_t i = next.fetch_add(1);
-                if (i >= set.size())
-                    return;
-                results[i] = runAccuracy(*set[i], spec);
-            }
-        });
-    }
-    for (auto &th : pool)
-        th.join();
+    ThreadPool::shared().parallelFor(set.size(), [&](std::size_t i) {
+        results[i] = runAccuracy(*set[i], spec);
+    });
     return results;
 }
 
@@ -171,28 +149,9 @@ runTimingSet(const std::vector<const Workload *> &set,
              const HybridSpec &spec)
 {
     std::vector<TimingStats> results(set.size());
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    const unsigned workers =
-        std::min<unsigned>(hw, static_cast<unsigned>(set.size()));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < set.size(); ++i)
-            results[i] = runTiming(*set[i], spec);
-        return results;
-    }
-    std::vector<std::thread> pool;
-    std::atomic<std::size_t> next{0};
-    for (unsigned t = 0; t < workers; ++t) {
-        pool.emplace_back([&] {
-            for (;;) {
-                const std::size_t i = next.fetch_add(1);
-                if (i >= set.size())
-                    return;
-                results[i] = runTiming(*set[i], spec);
-            }
-        });
-    }
-    for (auto &th : pool)
-        th.join();
+    ThreadPool::shared().parallelFor(set.size(), [&](std::size_t i) {
+        results[i] = runTiming(*set[i], spec);
+    });
     return results;
 }
 

@@ -1,0 +1,401 @@
+#include "sweep/result_store.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace pcbp
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * Minimal extraction from the store's own flat JSONL lines (string /
+ * integer / flat-array fields only — not a general JSON parser).
+ * Never throws or aborts: any malformed field latches failed(), so
+ * callers can treat a torn line (crash mid-append) as recoverable.
+ */
+class FieldReader
+{
+  public:
+    explicit FieldReader(const std::string &line) : line(line) {}
+
+    bool failed() const { return bad; }
+
+    std::string
+    getString(const char *field)
+    {
+        const std::size_t at = pos(field);
+        if (bad || line[at] != '"')
+            return fail<std::string>();
+        std::string out;
+        for (std::size_t i = at + 1; i < line.size(); ++i) {
+            if (line[i] == '\\' && i + 1 < line.size())
+                out += line[++i];
+            else if (line[i] == '"')
+                return out;
+            else
+                out += line[i];
+        }
+        return fail<std::string>(); // unterminated
+    }
+
+    std::uint64_t
+    getUint(const char *field)
+    {
+        std::size_t at = pos(field);
+        if (bad)
+            return 0;
+        return number(at);
+    }
+
+    std::vector<std::uint64_t>
+    getArray(const char *field)
+    {
+        std::size_t at = pos(field);
+        if (bad || line[at] != '[')
+            return fail<std::vector<std::uint64_t>>();
+        std::vector<std::uint64_t> out;
+        ++at;
+        while (!bad && at < line.size() && line[at] != ']') {
+            out.push_back(number(at));
+            if (at < line.size() && line[at] == ',')
+                ++at;
+        }
+        if (at >= line.size() || line[at] != ']')
+            return fail<std::vector<std::uint64_t>>();
+        return out;
+    }
+
+  private:
+    template <typename T>
+    T
+    fail()
+    {
+        bad = true;
+        return T();
+    }
+
+    /** Digit run at @p at (advanced past it); empty run = failure. */
+    std::uint64_t
+    number(std::size_t &at)
+    {
+        std::uint64_t v = 0;
+        bool any = false;
+        while (at < line.size() && line[at] >= '0' &&
+               line[at] <= '9') {
+            v = v * 10 + std::uint64_t(line[at] - '0');
+            ++at;
+            any = true;
+        }
+        if (!any)
+            return fail<std::uint64_t>();
+        return v;
+    }
+
+    std::size_t
+    pos(const char *field)
+    {
+        const std::string needle =
+            std::string("\"") + field + "\":";
+        const auto at = line.find(needle);
+        if (at == std::string::npos)
+            return fail<std::size_t>();
+        // Fields are always followed by a value character, so this
+        // index is in range unless the line is torn (then the value
+        // reader trips on it).
+        return at + needle.size() < line.size() ? at + needle.size()
+                                                : fail<std::size_t>();
+    }
+
+    const std::string &line;
+    bool bad = false;
+};
+
+} // namespace
+
+// -------------------------------------------------------- CellResult
+
+CellResult
+CellResult::fromRun(const SweepCell &cell, const EngineStats &stats)
+{
+    CellResult r;
+    r.key = cell.key();
+    r.hash = cell.hash();
+    r.workload = cell.workload->name;
+    r.suite = cell.workload->suite;
+    r.prophet = prophetKindName(cell.spec.prophet) + ":" +
+                budgetName(cell.spec.prophetBudget);
+    r.critic = cell.spec.critic
+                   ? criticKindName(*cell.spec.critic) + ":" +
+                         budgetName(cell.spec.criticBudget)
+                   : "none";
+    r.futureBits = cell.spec.critic ? cell.spec.futureBits : 0;
+    r.speculativeHistory = cell.spec.speculativeHistory;
+    r.repairHistory = cell.spec.repairHistory;
+    r.measureBranches = cell.measureBranches;
+
+    r.committedBranches = stats.committedBranches;
+    r.committedUops = stats.committedUops;
+    r.finalMispredicts = stats.finalMispredicts;
+    r.prophetMispredicts = stats.prophetMispredicts;
+    r.btbMisses = stats.btbMisses;
+    r.criticOverrides = stats.criticOverrides;
+    r.squashedPredictions = stats.squashedPredictions;
+    r.wrongPathBranches = stats.wrongPathBranches;
+    r.wrongPathUops = stats.wrongPathUops;
+    r.partialCritiques = stats.partialCritiques;
+    r.critiques = stats.critiques;
+    return r;
+}
+
+EngineStats
+CellResult::toEngineStats() const
+{
+    EngineStats s;
+    s.committedBranches = committedBranches;
+    s.committedUops = committedUops;
+    s.finalMispredicts = finalMispredicts;
+    s.prophetMispredicts = prophetMispredicts;
+    s.btbMisses = btbMisses;
+    s.criticOverrides = criticOverrides;
+    s.squashedPredictions = squashedPredictions;
+    s.wrongPathBranches = wrongPathBranches;
+    s.wrongPathUops = wrongPathUops;
+    s.partialCritiques = partialCritiques;
+    s.critiques = critiques;
+    return s;
+}
+
+std::string
+CellResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"key\":\"" << jsonEscape(key) << "\""
+       << ",\"hash\":" << hash
+       << ",\"workload\":\"" << jsonEscape(workload) << "\""
+       << ",\"suite\":\"" << jsonEscape(suite) << "\""
+       << ",\"prophet\":\"" << jsonEscape(prophet) << "\""
+       << ",\"critic\":\"" << jsonEscape(critic) << "\""
+       << ",\"future_bits\":" << futureBits
+       << ",\"spec_history\":" << (speculativeHistory ? 1 : 0)
+       << ",\"repair_history\":" << (repairHistory ? 1 : 0)
+       << ",\"measure_branches\":" << measureBranches
+       << ",\"committed_branches\":" << committedBranches
+       << ",\"committed_uops\":" << committedUops
+       << ",\"final_mispredicts\":" << finalMispredicts
+       << ",\"prophet_mispredicts\":" << prophetMispredicts
+       << ",\"btb_misses\":" << btbMisses
+       << ",\"critic_overrides\":" << criticOverrides
+       << ",\"squashed_predictions\":" << squashedPredictions
+       << ",\"wrong_path_branches\":" << wrongPathBranches
+       << ",\"wrong_path_uops\":" << wrongPathUops
+       << ",\"partial_critiques\":" << partialCritiques
+       << ",\"critiques\":[";
+    for (std::size_t c = 0; c < numCritiqueClasses; ++c)
+        os << (c ? "," : "") << critiques.counts[c];
+    os << "]}";
+    return os.str();
+}
+
+CellResult
+CellResult::fromJson(const std::string &line)
+{
+    CellResult r;
+    if (!tryFromJson(line, r))
+        pcbp_fatal("result store: malformed line: ", line);
+    return r;
+}
+
+bool
+CellResult::tryFromJson(const std::string &line, CellResult &r)
+{
+    FieldReader in(line);
+    r.key = in.getString("key");
+    r.hash = in.getUint("hash");
+    r.workload = in.getString("workload");
+    r.suite = in.getString("suite");
+    r.prophet = in.getString("prophet");
+    r.critic = in.getString("critic");
+    r.futureBits = static_cast<unsigned>(in.getUint("future_bits"));
+    r.speculativeHistory = in.getUint("spec_history") != 0;
+    r.repairHistory = in.getUint("repair_history") != 0;
+    r.measureBranches = in.getUint("measure_branches");
+    r.committedBranches = in.getUint("committed_branches");
+    r.committedUops = in.getUint("committed_uops");
+    r.finalMispredicts = in.getUint("final_mispredicts");
+    r.prophetMispredicts = in.getUint("prophet_mispredicts");
+    r.btbMisses = in.getUint("btb_misses");
+    r.criticOverrides = in.getUint("critic_overrides");
+    r.squashedPredictions = in.getUint("squashed_predictions");
+    r.wrongPathBranches = in.getUint("wrong_path_branches");
+    r.wrongPathUops = in.getUint("wrong_path_uops");
+    r.partialCritiques = in.getUint("partial_critiques");
+    const auto crit = in.getArray("critiques");
+    if (in.failed() || crit.size() != numCritiqueClasses)
+        return false;
+    for (std::size_t c = 0; c < numCritiqueClasses; ++c)
+        r.critiques.counts[c] = crit[c];
+    return true;
+}
+
+// ------------------------------------------------------- ResultStore
+
+ResultStore::ResultStore(std::string path) : filePath(std::move(path))
+{
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(filePath);
+        if (!in)
+            return; // first run: file appears on the first put()
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(std::move(line));
+    }
+    std::uint64_t valid_bytes = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        CellResult r;
+        if (!line.empty() && !CellResult::tryFromJson(line, r)) {
+            // A torn final line is what a kill mid-append leaves
+            // behind; drop it (and truncate, so the next append
+            // doesn't concatenate onto the torn bytes) and the cell
+            // simply reruns. Torn bytes followed by further valid
+            // lines mean real corruption — refuse to guess.
+            if (i + 1 != lines.size())
+                pcbp_fatal("result store ", filePath, ":", i + 1,
+                           ": malformed line: ", line);
+            pcbp_warn("result store ", filePath,
+                      ": dropping torn final line (interrupted "
+                      "write); the cell will rerun");
+            truncateFile(valid_bytes);
+            return;
+        }
+        valid_bytes += line.size() + 1;
+        if (line.empty())
+            continue;
+        if (index.count(r.key)) {
+            pcbp_warn("result store ", filePath, ":", i + 1,
+                      ": duplicate key ignored: ", r.key);
+            continue;
+        }
+        index.emplace(r.key, results.size());
+        results.push_back(std::move(r));
+    }
+}
+
+void
+ResultStore::truncateFile(std::uint64_t valid_bytes)
+{
+    std::error_code ec;
+    std::filesystem::resize_file(filePath, valid_bytes, ec);
+    if (ec)
+        pcbp_fatal("result store: cannot truncate ", filePath, ": ",
+                   ec.message());
+}
+
+bool
+ResultStore::has(const std::string &key) const
+{
+    return index.count(key) != 0;
+}
+
+const CellResult *
+ResultStore::find(const std::string &key) const
+{
+    const auto it = index.find(key);
+    return it == index.end() ? nullptr : &results[it->second];
+}
+
+EngineStats
+ResultStore::statsFor(const SweepCell &cell) const
+{
+    const CellResult *r = find(cell.key());
+    if (!r)
+        pcbp_fatal("result store: no result for cell ", cell.key());
+    return r->toEngineStats();
+}
+
+void
+ResultStore::put(CellResult r)
+{
+    if (index.count(r.key))
+        pcbp_fatal("result store: duplicate put for key ", r.key);
+    if (!filePath.empty()) {
+        std::ofstream out(filePath, std::ios::app);
+        if (!out)
+            pcbp_fatal("result store: cannot append to ", filePath);
+        out << r.toJson() << "\n";
+        out.flush();
+        if (!out)
+            pcbp_fatal("result store: write to ", filePath, " failed");
+    }
+    index.emplace(r.key, results.size());
+    results.push_back(std::move(r));
+}
+
+std::string
+ResultStore::exportCsv(const std::vector<CellResult> &results)
+{
+    std::ostringstream os;
+    os << "workload,suite,prophet,critic,future_bits,spec_history,"
+          "repair_history,measure_branches,committed_branches,"
+          "committed_uops,final_mispredicts,prophet_mispredicts,"
+          "misp_per_kuops,misp_rate,prophet_misp_rate,btb_misses,"
+          "critic_overrides,squashed_predictions,wrong_path_branches,"
+          "wrong_path_uops,partial_critiques";
+    for (std::size_t c = 0; c < numCritiqueClasses; ++c)
+        os << ","
+           << critiqueClassName(static_cast<CritiqueClass>(c));
+    os << "\n";
+    for (const auto &r : results) {
+        const EngineStats s = r.toEngineStats();
+        os << r.workload << ',' << r.suite << ',' << r.prophet << ','
+           << r.critic << ',' << r.futureBits << ','
+           << (r.speculativeHistory ? 1 : 0) << ','
+           << (r.repairHistory ? 1 : 0) << ',' << r.measureBranches
+           << ',' << r.committedBranches << ',' << r.committedUops
+           << ',' << r.finalMispredicts << ',' << r.prophetMispredicts
+           << ',' << fmtDouble(s.mispPerKuops(), 6) << ','
+           << fmtDouble(s.mispRate(), 6) << ','
+           << fmtDouble(s.prophetMispRate(), 6) << ',' << r.btbMisses
+           << ',' << r.criticOverrides << ',' << r.squashedPredictions
+           << ',' << r.wrongPathBranches << ',' << r.wrongPathUops
+           << ',' << r.partialCritiques;
+        for (std::size_t c = 0; c < numCritiqueClasses; ++c)
+            os << ',' << r.critiques.counts[c];
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+ResultStore::exportJson(const std::vector<CellResult> &results)
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i)
+        os << "  " << results[i].toJson()
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    os << "]\n";
+    return os.str();
+}
+
+} // namespace pcbp

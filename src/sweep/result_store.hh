@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Append-only, resumable store of sweep cell results.
+ *
+ * One JSONL line per completed cell, keyed by the cell's canonical
+ * content key (plus its FNV-1a hash for quick external joins). On
+ * construction the store replays an existing file, so a re-run of
+ * the same sweep skips every completed cell and computes only the
+ * delta — interrupting a 10,000-cell grid costs just the in-flight
+ * cells.
+ *
+ * All persisted statistics are integers, so the file and the CSV /
+ * JSON exports are byte-stable across runs and across `--jobs`
+ * settings (the runner appends in cell order).
+ */
+
+#ifndef PCBP_SWEEP_RESULT_STORE_HH
+#define PCBP_SWEEP_RESULT_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace pcbp
+{
+
+/** One completed cell, as persisted. */
+struct CellResult
+{
+    std::string key;
+    std::uint64_t hash = 0;
+
+    // Denormalized cell coordinates, for exports.
+    std::string workload;
+    std::string suite;
+    std::string prophet;      // "perceptron:8KB"
+    std::string critic;       // "t.gshare:8KB" or "none"
+    unsigned futureBits = 0;
+    bool speculativeHistory = true;
+    bool repairHistory = true;
+    std::uint64_t measureBranches = 0;
+
+    // The persisted subset of EngineStats (everything aggregate()
+    // and the exports consume).
+    std::uint64_t committedBranches = 0;
+    std::uint64_t committedUops = 0;
+    std::uint64_t finalMispredicts = 0;
+    std::uint64_t prophetMispredicts = 0;
+    std::uint64_t btbMisses = 0;
+    std::uint64_t criticOverrides = 0;
+    std::uint64_t squashedPredictions = 0;
+    std::uint64_t wrongPathBranches = 0;
+    std::uint64_t wrongPathUops = 0;
+    std::uint64_t partialCritiques = 0;
+    CritiqueCounts critiques;
+
+    /** Build from a finished cell run. */
+    static CellResult fromRun(const SweepCell &cell,
+                              const EngineStats &stats);
+
+    /** Rehydrate the persisted counters into an EngineStats. */
+    EngineStats toEngineStats() const;
+
+    /** One JSONL line (no trailing newline). */
+    std::string toJson() const;
+
+    /** Parse one JSONL line (fatal on malformed input). */
+    static CellResult fromJson(const std::string &line);
+
+    /** Non-fatal parse; returns false on malformed input. */
+    static bool tryFromJson(const std::string &line, CellResult &out);
+};
+
+class ResultStore
+{
+  public:
+    /** In-memory store (nothing persisted). */
+    ResultStore() = default;
+
+    /**
+     * Persistent store: replays @p path if it exists; put() appends
+     * to it (creating it on first write).
+     */
+    explicit ResultStore(std::string path);
+
+    /** True if a result for this content key exists. */
+    bool has(const std::string &key) const;
+
+    /** Lookup by content key; nullptr if absent. */
+    const CellResult *find(const std::string &key) const;
+
+    /** Stats for @p cell (fatal if absent — run the sweep first). */
+    EngineStats statsFor(const SweepCell &cell) const;
+
+    /** Record a result: appends to the file and the in-memory view. */
+    void put(CellResult r);
+
+    std::size_t size() const { return results.size(); }
+
+    /** All results, in insertion (= file) order. */
+    const std::vector<CellResult> &all() const { return results; }
+
+    /** The backing file path ("" for in-memory stores). */
+    const std::string &path() const { return filePath; }
+
+    /** CSV export of @p results, header first. */
+    static std::string exportCsv(const std::vector<CellResult> &results);
+
+    /** JSON-array export of @p results. */
+    static std::string exportJson(
+        const std::vector<CellResult> &results);
+
+  private:
+    void truncateFile(std::uint64_t valid_bytes);
+
+    std::string filePath;
+    std::vector<CellResult> results;
+    std::unordered_map<std::string, std::size_t> index;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_SWEEP_RESULT_STORE_HH

@@ -1,0 +1,76 @@
+#include "sweep/runner.hh"
+
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace pcbp
+{
+
+SweepRunSummary
+runSweep(const SweepSpec &spec, ResultStore &store,
+         const SweepRunOptions &opt)
+{
+    SweepRunSummary summary;
+    const std::vector<SweepCell> cells = spec.cells();
+    summary.totalCells = cells.size();
+
+    std::vector<const SweepCell *> pending;
+    for (const SweepCell &cell : cells) {
+        if (store.has(cell.key())) {
+            ++summary.skippedCells;
+            continue;
+        }
+        if (opt.maxCells && pending.size() >= opt.maxCells)
+            continue;
+        pending.push_back(&cell);
+    }
+    summary.executedCells = pending.size();
+    if (pending.empty())
+        return summary;
+
+    // Workers drop finished cells into `results`; the flush cursor
+    // advances over the completed prefix so the store only ever sees
+    // results in cell order, whatever order the pool finishes them.
+    std::vector<EngineStats> results(pending.size());
+    std::vector<bool> done(pending.size(), false);
+    std::size_t cursor = 0;
+    std::mutex flushMutex;
+
+    ThreadPool pool(opt.jobs);
+    pool.parallelFor(pending.size(), [&](std::size_t i) {
+        const SweepCell &cell = *pending[i];
+        const EngineStats stats =
+            runAccuracy(*cell.workload, cell.spec, cell.engineConfig());
+
+        std::lock_guard<std::mutex> lk(flushMutex);
+        results[i] = stats;
+        done[i] = true;
+        while (cursor < pending.size() && done[cursor]) {
+            store.put(CellResult::fromRun(*pending[cursor],
+                                          results[cursor]));
+            if (opt.onCellDone)
+                opt.onCellDone(*pending[cursor], results[cursor]);
+            ++cursor;
+        }
+    });
+
+    return summary;
+}
+
+AggregateResult
+aggregateCells(const ResultStore &store,
+               const std::vector<SweepCell> &cells,
+               const std::function<bool(const SweepCell &)> &pred)
+{
+    std::vector<EngineStats> runs;
+    for (const SweepCell &cell : cells)
+        if (pred(cell))
+            runs.push_back(store.statsFor(cell));
+    if (runs.empty())
+        pcbp_fatal("aggregateCells: no cells matched");
+    return aggregate(runs);
+}
+
+} // namespace pcbp

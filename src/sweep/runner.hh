@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sweep execution: shards individual (config, workload) cells across
+ * a work-stealing thread pool and persists results through the
+ * ResultStore.
+ *
+ * Determinism contract: results are bit-identical regardless of
+ * `jobs`. Every cell builds its own program (seeded by the workload
+ * recipe) and predictor, so execution order cannot leak between
+ * cells; and completed cells are flushed to the store strictly in
+ * cell order (a worker finishing cell 7 before cell 3 waits in a
+ * buffer until 3..6 land), so the JSONL file — and therefore every
+ * export — is byte-identical too.
+ *
+ * Resume contract: cells whose content key is already in the store
+ * are skipped, so re-running an interrupted sweep computes only the
+ * missing delta.
+ */
+
+#ifndef PCBP_SWEEP_RUNNER_HH
+#define PCBP_SWEEP_RUNNER_HH
+
+#include <functional>
+
+#include "sweep/result_store.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace pcbp
+{
+
+struct SweepRunOptions
+{
+    /** Worker count (incl. caller); 0 = one per hardware thread. */
+    unsigned jobs = 0;
+
+    /**
+     * Stop after this many newly-executed cells (0 = no limit).
+     * Lets callers simulate interruption and lets the CLI spread a
+     * huge sweep across invocations.
+     */
+    std::size_t maxCells = 0;
+
+    /** Per-cell progress callback (invoked in flush order). */
+    std::function<void(const SweepCell &, const EngineStats &)>
+        onCellDone;
+};
+
+struct SweepRunSummary
+{
+    std::size_t totalCells = 0;    ///< cells in the spec's grid
+    std::size_t skippedCells = 0;  ///< already present in the store
+    std::size_t executedCells = 0; ///< newly computed this run
+};
+
+/** Run @p spec against @p store; see the determinism contract above. */
+SweepRunSummary runSweep(const SweepSpec &spec, ResultStore &store,
+                         const SweepRunOptions &opt = {});
+
+/**
+ * Aggregate the stored stats of every cell matching @p pred — how
+ * the ported figure benches slice a grid into table rows (fatal if
+ * nothing matches or a matching cell was never run).
+ */
+AggregateResult aggregateCells(
+    const ResultStore &store, const std::vector<SweepCell> &cells,
+    const std::function<bool(const SweepCell &)> &pred);
+
+} // namespace pcbp
+
+#endif // PCBP_SWEEP_RUNNER_HH

@@ -1,0 +1,349 @@
+#include "sweep/sweep_spec.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(s);
+    while (std::getline(is, item, ',')) {
+        item = trim(item);
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+std::uint64_t
+parseUint(const std::string &s, int lineno, const char *key)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        pcbp_fatal("sweep: line ", lineno, ": bad value '", s,
+                   "' for '", key, "' (expected a non-negative "
+                   "integer)");
+    return std::stoull(s);
+}
+
+bool
+parseOnOff(const std::string &s, const char *key)
+{
+    if (s == "on" || s == "true" || s == "1")
+        return true;
+    if (s == "off" || s == "false" || s == "0")
+        return false;
+    pcbp_fatal("sweep: bad value '", s, "' for '", key,
+               "' (expected on/off)");
+}
+
+std::string
+criticAxisName(const std::optional<CriticKind> &c)
+{
+    return c ? criticKindName(*c) : "none";
+}
+
+} // namespace
+
+// --------------------------------------------------------- SweepCell
+
+std::string
+SweepCell::key() const
+{
+    std::ostringstream os;
+    os << "w=" << workload->name
+       << ";p=" << prophetKindName(spec.prophet)
+       << ";pb=" << budgetName(spec.prophetBudget)
+       << ";c=" << criticAxisName(spec.critic)
+       << ";cb=" << (spec.critic ? budgetName(spec.criticBudget) : "-")
+       << ";fb=" << (spec.critic ? spec.futureBits : 0)
+       << ";sh=" << (spec.speculativeHistory ? 1 : 0)
+       << ";rh=" << (spec.repairHistory ? 1 : 0)
+       << ";mb=" << measureBranches << ";wb=" << warmupBranches;
+    return os.str();
+}
+
+std::uint64_t
+SweepCell::hash() const
+{
+    // FNV-1a, 64-bit.
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : key()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+EngineConfig
+SweepCell::engineConfig() const
+{
+    EngineConfig cfg = engineConfigFor(*workload);
+    cfg.measureBranches = measureBranches;
+    cfg.warmupBranches = warmupBranches;
+    return cfg;
+}
+
+// --------------------------------------------------------- SweepSpec
+
+SweepSpec
+SweepSpec::parse(const std::string &text)
+{
+    SweepSpec spec;
+    std::set<std::string> seen;
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            pcbp_fatal("sweep: line ", lineno, ": expected 'key = value'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (!seen.insert(key).second)
+            pcbp_fatal("sweep: line ", lineno, ": duplicate key '", key,
+                       "'");
+        const auto items = splitList(value);
+        if (items.empty())
+            pcbp_fatal("sweep: line ", lineno, ": empty value for '",
+                       key, "'");
+
+        if (key == "name") {
+            spec.name = value;
+        } else if (key == "prophet") {
+            spec.axes.prophets.clear();
+            for (const auto &s : items)
+                spec.axes.prophets.push_back(parseProphetKind(s));
+        } else if (key == "prophet_budget") {
+            spec.axes.prophetBudgets.clear();
+            for (const auto &s : items)
+                spec.axes.prophetBudgets.push_back(parseBudget(s));
+        } else if (key == "critic") {
+            spec.axes.critics.clear();
+            for (const auto &s : items)
+                spec.axes.critics.push_back(
+                    s == "none" ? std::nullopt
+                                : std::optional<CriticKind>(
+                                      parseCriticKind(s)));
+        } else if (key == "critic_budget") {
+            spec.axes.criticBudgets.clear();
+            for (const auto &s : items)
+                spec.axes.criticBudgets.push_back(parseBudget(s));
+        } else if (key == "future_bits") {
+            spec.axes.futureBits.clear();
+            for (const auto &s : items)
+                spec.axes.futureBits.push_back(static_cast<unsigned>(
+                    parseUint(s, lineno, "future_bits")));
+        } else if (key == "spec_history") {
+            spec.axes.speculativeHistory.clear();
+            for (const auto &s : items)
+                spec.axes.speculativeHistory.push_back(
+                    parseOnOff(s, "spec_history"));
+        } else if (key == "repair_history") {
+            spec.axes.repairHistory.clear();
+            for (const auto &s : items)
+                spec.axes.repairHistory.push_back(
+                    parseOnOff(s, "repair_history"));
+        } else if (key == "branches") {
+            spec.branches = parseUint(value, lineno, "branches");
+        } else if (key == "workloads") {
+            spec.workloads = items;
+        } else {
+            pcbp_fatal("sweep: line ", lineno, ": unknown key '", key,
+                       "' (known: name, prophet, prophet_budget, "
+                       "critic, critic_budget, future_bits, "
+                       "spec_history, repair_history, branches, "
+                       "workloads)");
+        }
+    }
+    if (spec.workloads.empty())
+        pcbp_fatal("sweep: no workloads");
+    return spec;
+}
+
+SweepSpec
+SweepSpec::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        pcbp_fatal("sweep: cannot read spec file '", path, "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return parse(os.str());
+}
+
+std::string
+SweepSpec::serialize() const
+{
+    auto join = [](const std::vector<std::string> &items) {
+        std::string s;
+        for (const auto &i : items) {
+            if (!s.empty())
+                s += ", ";
+            s += i;
+        }
+        return s;
+    };
+
+    std::vector<std::string> prophets, pbudgets, critics, cbudgets, fbs,
+        shs, rhs;
+    for (const auto k : axes.prophets)
+        prophets.push_back(prophetKindName(k));
+    for (const auto b : axes.prophetBudgets)
+        pbudgets.push_back(budgetName(b));
+    for (const auto &c : axes.critics)
+        critics.push_back(criticAxisName(c));
+    for (const auto b : axes.criticBudgets)
+        cbudgets.push_back(budgetName(b));
+    for (const auto f : axes.futureBits)
+        fbs.push_back(std::to_string(f));
+    for (const bool v : axes.speculativeHistory)
+        shs.push_back(v ? "on" : "off");
+    for (const bool v : axes.repairHistory)
+        rhs.push_back(v ? "on" : "off");
+
+    std::ostringstream os;
+    os << "name = " << name << "\n"
+       << "prophet = " << join(prophets) << "\n"
+       << "prophet_budget = " << join(pbudgets) << "\n"
+       << "critic = " << join(critics) << "\n"
+       << "critic_budget = " << join(cbudgets) << "\n"
+       << "future_bits = " << join(fbs) << "\n"
+       << "spec_history = " << join(shs) << "\n"
+       << "repair_history = " << join(rhs) << "\n";
+    if (branches)
+        os << "branches = " << branches << "\n";
+    os << "workloads = " << join(workloads) << "\n";
+    return os.str();
+}
+
+std::vector<const Workload *>
+SweepSpec::resolveWorkloads() const
+{
+    std::vector<const Workload *> out;
+    auto push = [&](const Workload *w) {
+        if (std::find(out.begin(), out.end(), w) == out.end())
+            out.push_back(w);
+    };
+    for (const auto &sel : workloads) {
+        if (sel == "AVG") {
+            for (const Workload *w : avgSet())
+                push(w);
+            continue;
+        }
+        if (sel == "ALL") {
+            for (const auto &w : allWorkloads())
+                push(&w);
+            continue;
+        }
+        bool is_suite = false;
+        for (const auto &w : allWorkloads())
+            is_suite |= w.suite == sel;
+        if (is_suite) {
+            for (const Workload *w : suiteWorkloads(sel))
+                push(w);
+            continue;
+        }
+        push(&workloadByName(sel));
+    }
+    return out;
+}
+
+std::vector<SweepCell>
+SweepSpec::cells() const
+{
+    const auto set = resolveWorkloads();
+    if (set.empty())
+        pcbp_fatal("sweep '", name, "': workload selectors resolve to "
+                   "nothing");
+
+    const SweepAxes &a = axes;
+    const std::size_t dims[7] = {
+        a.prophets.size(),      a.prophetBudgets.size(),
+        a.critics.size(),       a.criticBudgets.size(),
+        a.futureBits.size(),    a.speculativeHistory.size(),
+        a.repairHistory.size(),
+    };
+    std::size_t num_configs = 1;
+    for (const std::size_t d : dims) {
+        if (d == 0)
+            pcbp_fatal("sweep '", name, "': empty axis");
+        num_configs *= d;
+    }
+
+    std::vector<SweepCell> out;
+    std::set<std::string> dedup;
+    for (std::size_t ci = 0; ci < num_configs; ++ci) {
+        // Odometer over the axes, last axis fastest.
+        std::size_t sub[7];
+        std::size_t rem = ci;
+        for (int d = 6; d >= 0; --d) {
+            sub[d] = rem % dims[d];
+            rem /= dims[d];
+        }
+
+        HybridSpec spec;
+        spec.prophet = a.prophets[sub[0]];
+        spec.prophetBudget = a.prophetBudgets[sub[1]];
+        spec.critic = a.critics[sub[2]];
+        spec.criticBudget = a.criticBudgets[sub[3]];
+        spec.futureBits = spec.critic ? a.futureBits[sub[4]] : 0;
+        spec.speculativeHistory = a.speculativeHistory[sub[5]];
+        spec.repairHistory = a.repairHistory[sub[6]];
+
+        for (const Workload *w : set) {
+            SweepCell cell;
+            cell.spec = spec;
+            cell.workload = w;
+            if (branches) {
+                cell.measureBranches = std::max<std::uint64_t>(
+                    std::uint64_t(double(branches) * benchScale()),
+                    1000);
+                cell.warmupBranches = std::max<std::uint64_t>(
+                    cell.measureBranches / 10, 100);
+            } else {
+                const EngineConfig cfg = engineConfigFor(*w);
+                cell.measureBranches = cfg.measureBranches;
+                cell.warmupBranches = cfg.warmupBranches;
+            }
+            // Baseline rows (no critic) collapse the critic-budget
+            // and future-bit axes; key-level dedup keeps one cell.
+            if (!dedup.insert(cell.key()).second)
+                continue;
+            cell.index = out.size();
+            out.push_back(std::move(cell));
+        }
+    }
+    return out;
+}
+
+} // namespace pcbp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Declarative experiment grids.
+ *
+ * Every headline result in the paper (Fig. 5-10, Table 4) is a
+ * cartesian grid — predictors x budgets x future bits x workloads. A
+ * SweepSpec names that grid once, either programmatically or in a
+ * small dependency-free text format:
+ *
+ *     name          = fig7-16kb
+ *     prophet       = gshare, 2Bc-gskew, perceptron
+ *     prophet_budget = 8KB
+ *     critic        = none, f.perceptron, t.gshare
+ *     critic_budget = 8KB
+ *     future_bits   = 8
+ *     workloads     = AVG
+ *
+ * Lists are comma-separated; '#' starts a comment. Workload
+ * selectors resolve, in order: AVG (the 14-workload basket), ALL
+ * (every registered workload), a suite name (INT00, ..., FIG5, GCC),
+ * or an individual workload name.
+ *
+ * The expansion into SweepCells is deterministic, and each cell
+ * carries a canonical content key — the unit of resume in the
+ * ResultStore and of scheduling in the runner.
+ */
+
+#ifndef PCBP_SWEEP_SWEEP_SPEC_HH
+#define PCBP_SWEEP_SWEEP_SPEC_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hh"
+
+namespace pcbp
+{
+
+/** One (configuration, workload) grid point. */
+struct SweepCell
+{
+    /** Position in the spec's expansion order. */
+    std::size_t index = 0;
+
+    HybridSpec spec;
+    const Workload *workload = nullptr;
+
+    /** Engine run lengths, after overrides and PCBP_BENCH_SCALE. */
+    std::uint64_t measureBranches = 0;
+    std::uint64_t warmupBranches = 0;
+
+    /**
+     * Canonical content key, e.g.
+     * "w=unzip;p=perceptron;pb=8KB;c=t.gshare;cb=8KB;fb=8;sh=1;rh=1;
+     *  mb=300000;wb=30000". Two cells with equal keys compute the
+     * same result; the key changes whenever anything that affects
+     * the simulation (including run lengths) changes.
+     */
+    std::string key() const;
+
+    /** 64-bit FNV-1a hash of key(). */
+    std::uint64_t hash() const;
+
+    /** Engine configuration for this cell. */
+    EngineConfig engineConfig() const;
+};
+
+/** The grid axes; empty axes take single-value defaults. */
+struct SweepAxes
+{
+    std::vector<ProphetKind> prophets{ProphetKind::Perceptron};
+    std::vector<Budget> prophetBudgets{Budget::B8KB};
+    /** nullopt = prophet-alone baseline row. */
+    std::vector<std::optional<CriticKind>> critics{
+        CriticKind::TaggedGshare};
+    std::vector<Budget> criticBudgets{Budget::B8KB};
+    std::vector<unsigned> futureBits{8};
+    std::vector<bool> speculativeHistory{true};
+    std::vector<bool> repairHistory{true};
+};
+
+class SweepSpec
+{
+  public:
+    std::string name = "sweep";
+    SweepAxes axes;
+
+    /** Workload selectors, resolved lazily by cells(). */
+    std::vector<std::string> workloads{"AVG"};
+
+    /**
+     * Override measured branches per cell (warmup = a tenth);
+     * 0 keeps each workload's own default. PCBP_BENCH_SCALE applies
+     * either way.
+     */
+    std::uint64_t branches = 0;
+
+    /** Parse the text format (fatal with a message on bad input). */
+    static SweepSpec parse(const std::string &text);
+
+    /** Parse a spec file (fatal if unreadable). */
+    static SweepSpec parseFile(const std::string &path);
+
+    /** Emit the text format; parse(serialize()) round-trips. */
+    std::string serialize() const;
+
+    /**
+     * Expand the grid in deterministic order (config-major, workload
+     * fastest). Baseline rows (critic = none) collapse the critic
+     * budget and future-bit axes so no duplicate cells appear.
+     */
+    std::vector<SweepCell> cells() const;
+
+    /** Resolved workload list (selector order, deduplicated). */
+    std::vector<const Workload *> resolveWorkloads() const;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_SWEEP_SWEEP_SPEC_HH

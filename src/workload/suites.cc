@@ -1,5 +1,7 @@
 #include "workload/suites.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pcbp
@@ -348,13 +350,37 @@ allWorkloads()
     return registry;
 }
 
+namespace
+{
+
+/** Comma-join the registry's workload (or suite) names. */
+std::string
+knownNames(bool suites)
+{
+    std::string joined;
+    std::vector<std::string> seen;
+    for (const auto &w : allWorkloads()) {
+        const std::string &n = suites ? w.suite : w.name;
+        if (std::find(seen.begin(), seen.end(), n) != seen.end())
+            continue;
+        seen.push_back(n);
+        if (!joined.empty())
+            joined += ", ";
+        joined += n;
+    }
+    return joined;
+}
+
+} // namespace
+
 const Workload &
 workloadByName(const std::string &name)
 {
     for (const auto &w : allWorkloads())
         if (w.name == name)
             return w;
-    pcbp_fatal("unknown workload '", name, "'");
+    pcbp_fatal("unknown workload '", name, "' (available: ",
+               knownNames(false), ")");
 }
 
 std::vector<const Workload *>
@@ -364,6 +390,9 @@ suiteWorkloads(const std::string &suite)
     for (const auto &w : allWorkloads())
         if (w.suite == suite)
             out.push_back(&w);
+    if (out.empty())
+        pcbp_fatal("unknown suite '", suite, "' (available: ",
+                   knownNames(true), ")");
     return out;
 }
 

@@ -38,10 +38,13 @@ struct Workload
 /** Every registered workload. */
 const std::vector<Workload> &allWorkloads();
 
-/** Find by name (fatal if unknown). */
+/** Find by name (fatal if unknown, listing the known names). */
 const Workload &workloadByName(const std::string &name);
 
-/** All workloads of a suite (INT00, FP00, WEB, MM, PROD, SERV, WS). */
+/**
+ * All workloads of a suite (INT00, FP00, WEB, MM, PROD, SERV, WS,
+ * plus FIG5 and GCC); fatal if unknown, listing the known suites.
+ */
 std::vector<const Workload *> suiteWorkloads(const std::string &suite);
 
 /** The suite names, in the paper's order. */

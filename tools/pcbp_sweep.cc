@@ -1,0 +1,205 @@
+/**
+ * @file
+ * pcbp_sweep — the sweep orchestration CLI.
+ *
+ *   pcbp_sweep run --spec FILE --store FILE [--jobs N]
+ *                  [--max-cells N] [--quiet]
+ *       Execute the grid. Cells already in the store are skipped, so
+ *       an interrupted run resumes where it left off. Output is
+ *       bit-identical for any --jobs value.
+ *
+ *   pcbp_sweep status --spec FILE --store FILE
+ *       Completed / remaining cell counts for the grid.
+ *
+ *   pcbp_sweep cells --spec FILE
+ *       List the grid's cells and content keys without running.
+ *
+ *   pcbp_sweep export --store FILE [--format csv|json] [--out FILE]
+ *       Dump the store (file order) as CSV or a JSON array.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "sweep/runner.hh"
+
+using namespace pcbp;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " COMMAND [options]\n"
+        << "  run    --spec FILE --store FILE [--jobs N]"
+           " [--max-cells N] [--quiet]\n"
+        << "  status --spec FILE --store FILE\n"
+        << "  cells  --spec FILE\n"
+        << "  export --store FILE [--format csv|json] [--out FILE]\n";
+    std::exit(2);
+}
+
+struct Args
+{
+    std::string spec;
+    std::string store;
+    std::string format = "csv";
+    std::string out;
+    unsigned jobs = 0;
+    std::size_t maxCells = 0;
+    bool quiet = false;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--spec")
+            a.spec = next();
+        else if (arg == "--store")
+            a.store = next();
+        else if (arg == "--format")
+            a.format = next();
+        else if (arg == "--out")
+            a.out = next();
+        else if (arg == "--jobs")
+            a.jobs = static_cast<unsigned>(std::atoi(next().c_str()));
+        else if (arg == "--max-cells")
+            a.maxCells = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--quiet")
+            a.quiet = true;
+        else
+            usage(argv[0]);
+    }
+    return a;
+}
+
+int
+cmdRun(const Args &a, const char *argv0)
+{
+    if (a.spec.empty() || a.store.empty())
+        usage(argv0);
+    const SweepSpec spec = SweepSpec::parseFile(a.spec);
+    ResultStore store(a.store);
+
+    SweepRunOptions opt;
+    opt.jobs = a.jobs;
+    opt.maxCells = a.maxCells;
+    std::size_t flushed = 0;
+    if (!a.quiet) {
+        opt.onCellDone = [&](const SweepCell &cell,
+                             const EngineStats &st) {
+            std::cerr << "[" << ++flushed << "] " << cell.key()
+                      << " misp/Kuops="
+                      << fmtDouble(st.mispPerKuops(), 3) << "\n";
+        };
+    }
+
+    const SweepRunSummary s = runSweep(spec, store, opt);
+    std::cout << "sweep '" << spec.name << "': " << s.totalCells
+              << " cells, " << s.skippedCells << " already done, "
+              << s.executedCells << " executed\n";
+    const std::size_t remaining =
+        s.totalCells - s.skippedCells - s.executedCells;
+    if (remaining)
+        std::cout << remaining
+                  << " cells remaining (re-run to continue)\n";
+    return 0;
+}
+
+int
+cmdStatus(const Args &a, const char *argv0)
+{
+    if (a.spec.empty() || a.store.empty())
+        usage(argv0);
+    const SweepSpec spec = SweepSpec::parseFile(a.spec);
+    const ResultStore store(a.store);
+
+    std::size_t completed = 0;
+    const auto cells = spec.cells();
+    for (const auto &cell : cells)
+        if (store.has(cell.key()))
+            ++completed;
+
+    TablePrinter t({"sweep", "cells", "completed", "remaining"});
+    t.addRow({spec.name, std::to_string(cells.size()),
+              std::to_string(completed),
+              std::to_string(cells.size() - completed)});
+    std::cout << t.str();
+    return 0;
+}
+
+int
+cmdCells(const Args &a, const char *argv0)
+{
+    if (a.spec.empty())
+        usage(argv0);
+    const SweepSpec spec = SweepSpec::parseFile(a.spec);
+    for (const auto &cell : spec.cells())
+        std::cout << cell.index << " " << cell.key() << "\n";
+    return 0;
+}
+
+int
+cmdExport(const Args &a, const char *argv0)
+{
+    if (a.store.empty())
+        usage(argv0);
+    if (!std::ifstream(a.store)) {
+        std::cerr << "no such store: " << a.store << "\n";
+        return 1;
+    }
+    const ResultStore store(a.store);
+
+    std::string text;
+    if (a.format == "csv")
+        text = ResultStore::exportCsv(store.all());
+    else if (a.format == "json")
+        text = ResultStore::exportJson(store.all());
+    else
+        usage(argv0);
+
+    if (a.out.empty()) {
+        std::cout << text;
+        return 0;
+    }
+    std::ofstream out(a.out);
+    if (!out) {
+        std::cerr << "cannot write " << a.out << "\n";
+        return 1;
+    }
+    out << text;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+    const std::string cmd = argv[1];
+    const Args a = parseArgs(argc, argv);
+    if (cmd == "run")
+        return cmdRun(a, argv[0]);
+    if (cmd == "status")
+        return cmdStatus(a, argv[0]);
+    if (cmd == "cells")
+        return cmdCells(a, argv[0]);
+    if (cmd == "export")
+        return cmdExport(a, argv[0]);
+    usage(argv[0]);
+}
