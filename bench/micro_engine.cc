@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Whole-engine hot-path micro-benchmark: committed branches per
+ * second through the accuracy engine, prophet-alone and full hybrid.
+ * The hybrid row exercises the critique path (future-bit gather +
+ * BOR reconstruction) once per committed branch, which is where the
+ * per-critique std::vector<bool> allocations used to live — compare
+ * this number across revisions to see hot-path regressions. Plain
+ * chrono, no Google Benchmark dependency.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "sim/driver.hh"
+
+using namespace pcbp;
+
+namespace
+{
+
+void
+bench(const char *label, const HybridSpec &spec)
+{
+    const Workload &w = workloadByName("mm.mpeg");
+    EngineConfig cfg;
+    cfg.warmupBranches = 50000;
+    cfg.measureBranches = static_cast<std::uint64_t>(
+        1500000 * benchScale());
+
+    Program p = buildProgram(w);
+    auto h = spec.build();
+    Engine engine(p, *h, cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const EngineStats st = engine.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double total =
+        double(cfg.warmupBranches + cfg.measureBranches);
+    std::printf("%-28s %8.2f Mbranch/s  (%.0f branches, %.3f s, "
+                "misp/Ku %.3f)\n",
+                label, total / secs / 1e6, total, secs,
+                st.mispPerKuops());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench("prophet-alone gshare 8KB",
+          prophetAlone(ProphetKind::Gshare, Budget::B8KB));
+    bench("prophet-alone perceptron",
+          prophetAlone(ProphetKind::Perceptron, Budget::B8KB));
+    bench("hybrid t.gshare fb=8",
+          hybridSpec(ProphetKind::Gshare, Budget::B8KB,
+                     CriticKind::TaggedGshare, Budget::B8KB, 8));
+    bench("hybrid perceptron+t.gshare",
+          hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                     CriticKind::TaggedGshare, Budget::B8KB, 8));
+    return 0;
+}

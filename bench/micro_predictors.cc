@@ -73,13 +73,14 @@ benchHybridPath(benchmark::State &state)
         makeHybrid(ProphetKind::Perceptron, Budget::B8KB,
                    CriticKind::TaggedGshare, Budget::B8KB, 8);
     Stimulus s(44);
-    std::vector<bool> fb(8, false);
+    FutureBits fb;
     for (auto _ : state) {
         s.step();
         BranchContext ctx;
         const bool pred = hybrid->predictBranch(s.pc, ctx);
-        for (std::size_t i = 0; i < fb.size(); ++i)
-            fb[i] = (i == 0) ? pred : s.rng.nextBool(0.5);
+        fb.clear();
+        for (std::size_t i = 0; i < 8; ++i)
+            fb.push(i == 0 ? pred : s.rng.nextBool(0.5));
         const CritiqueDecision d =
             hybrid->critiqueBranch(s.pc, ctx, pred, fb);
         benchmark::DoNotOptimize(d.finalPrediction);

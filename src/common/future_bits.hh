@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-capacity future-bit buffer.
+ *
+ * A critique consumes a handful of future bits — the prophet's
+ * predictions for the critiqued branch and the branches fetched
+ * after it. Gathering them into a heap-allocated std::vector<bool>
+ * per critique dominated the spec-core hot path, so the bits travel
+ * in this 64-bit mask instead: construction, push and indexing are
+ * all branch-free register arithmetic, and the buffer lives in a
+ * reusable scratch slot inside SpecCore.
+ */
+
+#ifndef PCBP_COMMON_FUTURE_BITS_HH
+#define PCBP_COMMON_FUTURE_BITS_HH
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+/** Up to 64 future bits, oldest first (bit 0 = oldest pushed). */
+class FutureBits
+{
+  public:
+    /** Maximum number of bits the buffer can hold. */
+    static constexpr unsigned capacity = 64;
+
+    FutureBits() = default;
+
+    FutureBits(std::initializer_list<bool> bits)
+    {
+        for (bool b : bits)
+            push(b);
+    }
+
+    void
+    clear()
+    {
+        mask = 0;
+        n = 0;
+    }
+
+    /** Append a bit (younger than every bit already present). */
+    void
+    push(bool b)
+    {
+        pcbp_assert(n < capacity, "future-bit buffer overflow");
+        mask |= std::uint64_t(b) << n;
+        ++n;
+    }
+
+    unsigned size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    /** The i-th oldest bit (0 = oldest). */
+    bool
+    operator[](unsigned i) const
+    {
+        pcbp_assert(i < n);
+        return (mask >> i) & 1;
+    }
+
+  private:
+    std::uint64_t mask = 0;
+    unsigned n = 0;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_COMMON_FUTURE_BITS_HH

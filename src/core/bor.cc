@@ -5,11 +5,11 @@ namespace pcbp
 
 HistoryRegister
 buildCritiqueBor(const HistoryRegister &bor_before,
-                 const std::vector<bool> &future_bits)
+                 const FutureBits &future_bits)
 {
     HistoryRegister bor = bor_before;
-    for (bool b : future_bits)
-        bor.shiftIn(b);
+    for (unsigned i = 0; i < future_bits.size(); ++i)
+        bor.shiftIn(future_bits[i]);
     return bor;
 }
 

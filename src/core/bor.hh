@@ -17,8 +17,7 @@
 #ifndef PCBP_CORE_BOR_HH
 #define PCBP_CORE_BOR_HH
 
-#include <vector>
-
+#include "common/future_bits.hh"
 #include "common/history_register.hh"
 #include "common/types.hh"
 
@@ -47,7 +46,7 @@ struct BranchContext
  * @return BOR with future_bits shifted in youngest-last.
  */
 HistoryRegister buildCritiqueBor(const HistoryRegister &bor_before,
-                                 const std::vector<bool> &future_bits);
+                                 const FutureBits &future_bits);
 
 } // namespace pcbp
 

@@ -13,6 +13,8 @@ ProphetCriticHybrid::ProphetCriticHybrid(DirectionPredictorPtr prophet_,
       cfg(config)
 {
     pcbp_assert(prophet != nullptr, "a hybrid needs a prophet");
+    pcbp_assert(cfg.numFutureBits <= FutureBits::capacity,
+                "future-bit count exceeds the FutureBits capacity");
 }
 
 bool
@@ -33,7 +35,7 @@ ProphetCriticHybrid::predictBranch(Addr pc, BranchContext &ctx)
 CritiqueDecision
 ProphetCriticHybrid::critiqueBranch(Addr pc, const BranchContext &ctx,
                                     bool prophet_pred,
-                                    const std::vector<bool> &future_bits)
+                                    const FutureBits &future_bits)
 {
     pcbp_assert(future_bits.size() <= std::max(cfg.numFutureBits, 1u),
                 "more future bits than configured");

@@ -29,8 +29,8 @@
 
 #include <optional>
 #include <string>
-#include <vector>
 
+#include "common/future_bits.hh"
 #include "core/bor.hh"
 #include "core/critique.hh"
 #include "predictors/predictor.hh"
@@ -119,7 +119,7 @@ class ProphetCriticHybrid
      */
     CritiqueDecision critiqueBranch(Addr pc, const BranchContext &ctx,
                                     bool prophet_pred,
-                                    const std::vector<bool> &future_bits);
+                                    const FutureBits &future_bits);
 
     /**
      * Critic override (§5): repair BHR/BOR to the checkpoint and

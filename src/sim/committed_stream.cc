@@ -1,0 +1,108 @@
+#include "sim/committed_stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "workload/trace.hh"
+
+namespace pcbp
+{
+
+const CommittedBranch *
+CommittedStream::at(std::uint64_t idx)
+{
+    pcbp_assert(idx >= base, "reading a released committed record");
+    while (!ended && base + window.size() <= idx) {
+        CommittedBranch r;
+        if (!produceNext(r)) {
+            ended = true;
+            break;
+        }
+        window.push_back(r);
+        peak = std::max(peak, window.size());
+    }
+    if (idx < base + window.size())
+        return &window[static_cast<std::size_t>(idx - base)];
+    return nullptr;
+}
+
+void
+CommittedStream::release(std::uint64_t idx)
+{
+    while (base < idx && !window.empty()) {
+        window.pop_front();
+        ++base;
+    }
+}
+
+ProgramWalkStream::ProgramWalkStream(Program &program_,
+                                     std::uint64_t limit_)
+    : program(program_), limit(limit_), cur(program_.entry())
+{
+    program.validate();
+    program.resetWalk();
+}
+
+bool
+ProgramWalkStream::produceNext(CommittedBranch &out)
+{
+    if (walked >= limit)
+        return false;
+    const BasicBlock &b = program.block(cur);
+    const bool taken = program.evalOutcome(cur);
+    out = {cur, b.branchPc, taken, b.numUops};
+    cur = program.successor(cur, taken);
+    ++walked;
+    return true;
+}
+
+TraceFileStream::TraceFileStream(const std::string &path_,
+                                 std::size_t chunk_records)
+    : path(path_)
+{
+    pcbp_assert(chunk_records >= 1);
+    // One open: the header read validates the magic and leaves the
+    // file positioned at the first record.
+    file = openTraceFile(path, count);
+    buf.resize(chunk_records * tracefmt::recordBytes);
+}
+
+TraceFileStream::~TraceFileStream()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceFileStream::produceNext(CommittedBranch &out)
+{
+    if (decoded >= count)
+        return false;
+    if (bufPos >= bufLen) {
+        const std::uint64_t remaining = count - decoded;
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining,
+                                    buf.size() / tracefmt::recordBytes));
+        if (std::fread(buf.data(), tracefmt::recordBytes, want, file) !=
+            want) {
+            pcbp_fatal("trace file truncated");
+        }
+        bufPos = 0;
+        bufLen = want * tracefmt::recordBytes;
+    }
+    out = tracefmt::decodeRecord(buf.data() + bufPos);
+    bufPos += tracefmt::recordBytes;
+    ++decoded;
+    return true;
+}
+
+bool
+PrecomputedStream::produceNext(CommittedBranch &out)
+{
+    if (next >= trace.size())
+        return false;
+    out = trace[static_cast<std::size_t>(next++)];
+    return true;
+}
+
+} // namespace pcbp

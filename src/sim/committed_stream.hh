@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Streaming committed-branch sources.
+ *
+ * Both simulators consume the architectural (committed) branch
+ * stream strictly at their commit/resolve pointers, plus a small
+ * lookahead for the oracle-future-bit ablation. Precomputing the
+ * whole stream into a std::vector<CommittedBranch> therefore wastes
+ * O(run length) memory for O(pipeline) worth of liveness — and caps
+ * how long a run can be. A CommittedStream produces records on
+ * demand into a sliding window: the consumer reads records by
+ * absolute index with at(), and releases everything older than its
+ * commit pointer with release(), so resident memory is bounded by
+ * pipeline depth + future-bit lookahead regardless of run length.
+ *
+ * Backends:
+ *  - ProgramWalkStream: walks a Program's CFG architecturally on the
+ *    fly (the default path; replaces walkProgram's eager vector).
+ *  - TraceFileStream: chunked replay of a PCBPTRC1 binary trace file
+ *    (see workload/trace.hh), making externally recorded committed
+ *    streams a workload class of their own.
+ *  - PrecomputedStream: wraps an in-memory vector; used by the
+ *    equivalence tests that pin the streaming path to the historical
+ *    precomputed-vector behavior.
+ *
+ * See DESIGN.md §4 for how the streams plug into the spec core.
+ */
+
+#ifndef PCBP_SIM_COMMITTED_STREAM_HH
+#define PCBP_SIM_COMMITTED_STREAM_HH
+
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "workload/cfg.hh"
+
+namespace pcbp
+{
+
+/**
+ * A monotone window over the committed branch stream.
+ *
+ * Usage contract: at(i) is valid for any i not yet released; records
+ * below the release floor are gone for good (asserted). Streams are
+ * single-use — construct a fresh one per run.
+ */
+class CommittedStream
+{
+  public:
+    virtual ~CommittedStream() = default;
+
+    /**
+     * Record at absolute index @p idx, producing records on demand.
+     * Returns nullptr once @p idx is at or past the end of the
+     * stream. The pointer is invalidated by the next at()/release().
+     */
+    const CommittedBranch *at(std::uint64_t idx);
+
+    /** Allow records at indices below @p idx to be discarded. */
+    void release(std::uint64_t idx);
+
+    /** Total records this stream will produce. */
+    virtual std::uint64_t length() const = 0;
+
+    /** Records currently resident in the window. */
+    std::size_t windowSize() const { return window.size(); }
+
+    /** High-water mark of the window — the memory bound under test. */
+    std::size_t windowPeak() const { return peak; }
+
+    /** Records produced so far (window base + window size). */
+    std::uint64_t produced() const { return base + window.size(); }
+
+  protected:
+    /** Produce the next record; false once the stream is done. */
+    virtual bool produceNext(CommittedBranch &out) = 0;
+
+  private:
+    std::deque<CommittedBranch> window;
+    std::uint64_t base = 0;
+    std::size_t peak = 0;
+    bool ended = false;
+};
+
+/**
+ * On-the-fly architectural CFG walker: exactly walkProgram(), one
+ * branch at a time. Validates and resets the program's walk state on
+ * construction; the committed path is independent of the predictor
+ * (behaviors read only committed state), so lazy production yields
+ * records identical to the eager walk.
+ */
+class ProgramWalkStream : public CommittedStream
+{
+  public:
+    /** Walk @p program for up to @p limit branches. */
+    ProgramWalkStream(Program &program, std::uint64_t limit);
+
+    std::uint64_t length() const override { return limit; }
+
+  protected:
+    bool produceNext(CommittedBranch &out) override;
+
+  private:
+    Program &program;
+    std::uint64_t limit;
+    BlockId cur;
+    std::uint64_t walked = 0;
+};
+
+/**
+ * Chunked replayer of a PCBPTRC1 trace file (workload/trace.hh):
+ * reads @p chunk_records records worth of bytes per fread, so replay
+ * of a billion-branch trace touches O(chunk) memory. Fatal on
+ * malformed or truncated files.
+ */
+class TraceFileStream : public CommittedStream
+{
+  public:
+    explicit TraceFileStream(const std::string &path,
+                             std::size_t chunk_records = 4096);
+    ~TraceFileStream() override;
+
+    TraceFileStream(const TraceFileStream &) = delete;
+    TraceFileStream &operator=(const TraceFileStream &) = delete;
+
+    std::uint64_t length() const override { return count; }
+
+  protected:
+    bool produceNext(CommittedBranch &out) override;
+
+  private:
+    std::string path;
+    std::FILE *file = nullptr;
+    std::uint64_t count = 0;
+    std::uint64_t decoded = 0;
+    std::vector<unsigned char> buf;
+    std::size_t bufPos = 0;
+    std::size_t bufLen = 0;
+};
+
+/** In-memory stream over an already-materialized trace. */
+class PrecomputedStream : public CommittedStream
+{
+  public:
+    explicit PrecomputedStream(std::vector<CommittedBranch> trace)
+        : trace(std::move(trace))
+    {
+    }
+
+    std::uint64_t length() const override { return trace.size(); }
+
+  protected:
+    bool produceNext(CommittedBranch &out) override;
+
+  private:
+    std::vector<CommittedBranch> trace;
+    std::uint64_t next = 0;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_SIM_COMMITTED_STREAM_HH

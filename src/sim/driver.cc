@@ -100,6 +100,10 @@ runAccuracy(const Workload &w, const HybridSpec &spec,
     Program program = buildProgram(w);
     auto hybrid = spec.build();
     Engine engine(program, *hybrid, config);
+    if (!w.tracePath.empty()) {
+        TraceFileStream stream(w.tracePath);
+        return engine.run(stream);
+    }
     return engine.run();
 }
 
@@ -141,6 +145,10 @@ runTiming(const Workload &w, const HybridSpec &spec)
     Program program = buildProgram(w);
     auto hybrid = spec.build();
     TimingSim sim(program, *hybrid, timingConfigFor(w));
+    if (!w.tracePath.empty()) {
+        TraceFileStream stream(w.tracePath);
+        return sim.run(stream);
+    }
     return sim.run();
 }
 

@@ -7,113 +7,43 @@
 namespace pcbp
 {
 
+namespace
+{
+
+SpecCoreConfig
+coreConfig(const EngineConfig &cfg)
+{
+    SpecCoreConfig c;
+    c.useBtb = cfg.useBtb;
+    c.btbEntries = cfg.btbEntries;
+    c.btbWays = cfg.btbWays;
+    c.oracleFutureBits = cfg.oracleFutureBits;
+    return c;
+}
+
+} // namespace
+
 Engine::Engine(Program &program_, ProphetCriticHybrid &hybrid_,
                const EngineConfig &config)
     : program(program_), hybrid(hybrid_), cfg(config),
-      btb(config.btbEntries, config.btbWays)
+      core(program_, hybrid_, coreConfig(config))
 {
     pcbp_assert(cfg.pipelineDepth >= 2);
     pcbp_assert(cfg.pipelineDepth > hybrid.numFutureBits(),
                 "pipeline depth must exceed the future-bit count");
 }
 
-void
-Engine::fetchOne()
-{
-    const BasicBlock &b = program.block(fetchBlock);
-
-    Inflight r;
-    r.block = fetchBlock;
-    r.pc = b.branchPc;
-    r.numUops = b.numUops;
-    r.traceIdx = specTraceIdx++;
-    r.btbHit = !cfg.useBtb || btb.lookup(r.pc);
-
-    if (r.btbHit) {
-        r.prophetPred = hybrid.predictBranch(r.pc, r.ctx);
-        r.finalPred = r.prophetPred;
-    } else {
-        // The front end does not see the branch: implicit
-        // fall-through, no history insertion, no critique. Keep a
-        // checkpoint of the (unmodified) registers for repair.
-        r.prophetPred = false;
-        r.finalPred = false;
-        r.critiqued = true;
-        r.ctx.bhrBefore = hybrid.bhr();
-        r.ctx.borBefore = hybrid.bor();
-    }
-
-    fetchBlock = program.successor(fetchBlock, r.finalPred);
-    inflight.push_back(std::move(r));
-}
-
-std::vector<bool>
-Engine::futureBitsFor(std::size_t idx) const
-{
-    const unsigned want = hybrid.numFutureBits();
-    std::vector<bool> fb;
-    if (want == 0)
-        return fb;
-    fb.reserve(want);
-
-    if (cfg.oracleFutureBits) {
-        // Ablation (§6): correct-path outcomes as future bits. Only
-        // meaningful for correct-path branches; wrong-path records
-        // are squashed before their critique matters.
-        for (std::uint64_t t = inflight[idx].traceIdx;
-             fb.size() < want && t < trace.size(); ++t) {
-            fb.push_back(trace[t].taken);
-        }
-        if (fb.empty())
-            fb.push_back(inflight[idx].prophetPred);
-        return fb;
-    }
-
-    // Real mode: the prophet's predictions for this branch and the
-    // (BTB-identified) branches fetched after it, oldest first.
-    fb.push_back(inflight[idx].prophetPred);
-    for (std::size_t j = idx + 1; j < inflight.size() && fb.size() < want;
-         ++j) {
-        if (inflight[j].btbHit)
-            fb.push_back(inflight[j].prophetPred);
-    }
-    return fb;
-}
-
 bool
 Engine::critiqueAt(std::size_t idx)
 {
-    Inflight &r = inflight[idx];
-    pcbp_assert(!r.critiqued && r.btbHit);
-
-    const std::vector<bool> fb = futureBitsFor(idx);
-    if (fb.size() < hybrid.numFutureBits() && measuring())
+    const CritiqueOutcome out = core.critique(idx);
+    if (out.bitsGathered < hybrid.numFutureBits() && measuring())
         ++stats.partialCritiques;
-
-    CritiqueDecision d =
-        hybrid.critiqueBranch(r.pc, r.ctx, r.prophetPred, fb);
-    r.critiqued = true;
-    r.finalPred = d.finalPrediction;
-
-    const bool overrode = d.overrode;
-    r.decision = std::move(d);
-
-    if (overrode) {
-        if (measuring()) {
-            ++stats.criticOverrides;
-            stats.squashedPredictions += inflight.size() - idx - 1;
-        }
-        // FTQ-only flush: every younger prediction is uncriticized
-        // (critiques are issued oldest-first), so the flush is
-        // confined to the queue (§5).
-        for (std::size_t j = idx + 1; j < inflight.size(); ++j)
-            pcbp_assert(!inflight[j].btbHit || !inflight[j].critiqued);
-        inflight.resize(idx + 1);
-        hybrid.overrideRedirect(r.ctx, r.finalPred);
-        fetchBlock = program.successor(r.block, r.finalPred);
-        specTraceIdx = r.traceIdx + 1;
+    if (out.overrode && measuring()) {
+        ++stats.criticOverrides;
+        stats.squashedPredictions += out.squashed;
     }
-    return overrode;
+    return out.overrode;
 }
 
 void
@@ -123,17 +53,10 @@ Engine::critiqueReady()
         return;
     const unsigned want = std::max(1u, hybrid.numFutureBits());
 
-    for (std::size_t i = 0; i < inflight.size(); ++i) {
-        if (inflight[i].critiqued)
+    for (std::size_t i = 0; i < core.queueSize(); ++i) {
+        if (core.at(i).critiqued)
             continue;
-        // Count the future bits available to this branch.
-        unsigned avail = hybrid.numFutureBits() == 0 ? want : 1;
-        for (std::size_t j = i + 1;
-             j < inflight.size() && avail < want; ++j) {
-            if (inflight[j].btbHit)
-                ++avail;
-        }
-        if (avail < want)
+        if (core.futureBitsAvailable(i) < want)
             break; // younger branches have even fewer bits
         if (critiqueAt(i))
             break; // override squashed the younger entries
@@ -141,36 +64,36 @@ Engine::critiqueReady()
 }
 
 void
-Engine::resolveOldest()
+Engine::resolveOldest(CommittedStream &committed)
 {
-    pcbp_assert(!inflight.empty());
+    pcbp_assert(!core.queueEmpty());
 
     // §5: the consumer needs this prediction now; if the critique is
     // still pending, generate it from the future bits available.
-    if (!inflight.front().critiqued && inflight.front().btbHit &&
+    if (!core.front().critiqued && core.front().btbHit &&
         hybrid.hasCritic()) {
         critiqueAt(0);
     }
 
-    Inflight r = std::move(inflight.front());
-    inflight.pop_front();
+    Inflight r = core.popFront();
+
+    const CommittedBranch *cb = committed.at(commitIdx);
+    pcbp_assert(cb != nullptr, "committed stream ended mid-run");
 
     // Invariant: the oldest in-flight branch is on the correct path.
     pcbp_assert(r.traceIdx == commitIdx,
                 "oldest branch not at the commit point");
-    pcbp_assert(r.block == trace[commitIdx].block,
+    pcbp_assert(r.block == cb->block,
                 "oldest branch diverged from the architectural path");
 
-    const bool outcome = trace[commitIdx].taken;
+    const bool outcome = cb->taken;
     const bool prophet_correct =
         r.btbHit ? (r.prophetPred == outcome) : !outcome;
 
     // Non-speculative commit-time training (§3.2); for critiqued
     // branches this uses the critique-time BOR, wrong-path future
     // bits included (§3.3).
-    hybrid.commitBranch(r.pc, r.ctx, r.decision, outcome);
-    if (cfg.useBtb && !r.btbHit)
-        btb.allocate(r.pc);
+    core.commitTrain(r, outcome);
 
     const bool mispredicted = r.finalPred != outcome;
 
@@ -205,39 +128,50 @@ Engine::resolveOldest()
         if (measuring()) {
             ++stats.finalMispredicts;
             stats.flushDistance.sample(uopsSinceFlush);
-            stats.wrongPathBranches += inflight.size();
-            for (const auto &w : inflight)
-                stats.wrongPathUops += w.numUops;
+            stats.wrongPathBranches += core.queueSize();
+            for (std::size_t i = 0; i < core.queueSize(); ++i)
+                stats.wrongPathUops += core.at(i).numUops;
         }
         uopsSinceFlush = 0;
-        inflight.clear();
-        hybrid.recoverMispredict(r.ctx, outcome);
-        fetchBlock = program.successor(r.block, outcome);
-        specTraceIdx = commitIdx;
+        core.clearQueue();
+        core.recoverAndRedirect(r, outcome);
     } else {
         uopsSinceFlush += r.numUops;
     }
+
+    // Everything at or above commitIdx may still be read (oracle
+    // lookahead); older records are dead.
+    committed.release(commitIdx);
 }
 
 EngineStats
 Engine::run()
 {
-    const std::uint64_t total = cfg.warmupBranches + cfg.measureBranches;
-    trace = walkProgram(program, total);
+    ProgramWalkStream stream(program,
+                             cfg.warmupBranches + cfg.measureBranches);
+    return run(stream);
+}
 
-    fetchBlock = program.entry();
-    specTraceIdx = 0;
+EngineStats
+Engine::run(CommittedStream &committed)
+{
+    totalBranches = std::min(cfg.warmupBranches + cfg.measureBranches,
+                             committed.length());
+
+    const CommittedBranch *first = committed.at(0);
+    core.beginRun(cfg.oracleFutureBits ? &committed : nullptr,
+                  totalBranches,
+                  first ? first->block : program.entry());
     commitIdx = 0;
     uopsSinceFlush = 0;
-    inflight.clear();
     stats = EngineStats{};
     perBranchMap.clear();
 
-    while (commitIdx < total) {
-        while (inflight.size() < cfg.pipelineDepth)
-            fetchOne();
+    while (commitIdx < totalBranches) {
+        while (core.queueSize() < cfg.pipelineDepth)
+            core.fetchNext();
         critiqueReady();
-        resolveOldest();
+        resolveOldest(committed);
     }
 
     if (cfg.collectPerBranch) {

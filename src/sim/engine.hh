@@ -12,24 +12,29 @@
  * branch itself commits and trains the critic with its critique-time
  * BOR (§3.3).
  *
- * The committed (architectural) path is precomputed: branch
- * behaviors read only committed state, so the correct path is
- * provably independent of the predictor (as in real hardware, where
- * wrong-path execution has no architectural effect).
+ * The speculative protocol itself — predict, gather, critique,
+ * recover, commit-train — lives in the shared SpecCore
+ * (sim/spec_core.hh); the engine layers the accuracy-run policy and
+ * statistics on top. The committed (architectural) path arrives
+ * through a CommittedStream (branch behaviors read only committed
+ * state, so the correct path is provably independent of the
+ * predictor, as in real hardware): by default an on-the-fly CFG
+ * walk, optionally any other stream — and only a pipeline-deep
+ * window of it is ever resident, so run length does not affect
+ * memory.
  */
 
 #ifndef PCBP_SIM_ENGINE_HH
 #define PCBP_SIM_ENGINE_HH
 
-#include <deque>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
 #include "core/critique.hh"
 #include "core/prophet_critic.hh"
-#include "sim/btb.hh"
+#include "sim/committed_stream.hh"
+#include "sim/spec_core.hh"
 #include "workload/cfg.hh"
 
 namespace pcbp
@@ -149,7 +154,7 @@ class Engine
 {
   public:
     /**
-     * @param program The CFG to run (walked architecturally inside).
+     * @param program The CFG speculation runs through.
      * @param hybrid The predictor under test (prophet-only or full
      *        prophet/critic).
      * @param config Engine configuration.
@@ -157,41 +162,35 @@ class Engine
     Engine(Program &program, ProphetCriticHybrid &hybrid,
            const EngineConfig &config);
 
-    /** Run the configured number of branches and return stats. */
+    /**
+     * Run the configured number of branches over the program's own
+     * committed walk (streamed, O(pipeline) memory) and return stats.
+     */
     EngineStats run();
 
-  private:
-    struct Inflight
-    {
-        BlockId block = invalidBlock;
-        Addr pc = 0;
-        std::uint32_t numUops = 0;
-        std::uint64_t traceIdx = 0;
-        bool btbHit = true;
-        bool prophetPred = false;
-        bool finalPred = false;
-        bool critiqued = false;
-        std::optional<CritiqueDecision> decision;
-        BranchContext ctx;
-    };
+    /**
+     * Run against an explicit committed stream (trace replay, tests,
+     * equivalence checks). @p committed must agree with the CFG:
+     * successor(block, outcome) is the next committed block. The run
+     * length is the configured branch budget capped by the stream.
+     */
+    EngineStats run(CommittedStream &committed);
 
-    void fetchOne();
-    std::vector<bool> futureBitsFor(std::size_t idx) const;
+  private:
+    using Inflight = SpecRecord<EnginePayload>;
+
     bool critiqueAt(std::size_t idx);
     void critiqueReady();
-    void resolveOldest();
+    void resolveOldest(CommittedStream &committed);
 
     bool measuring() const { return commitIdx >= cfg.warmupBranches; }
 
     Program &program;
     ProphetCriticHybrid &hybrid;
     EngineConfig cfg;
-    Btb btb;
+    SpecCore<EnginePayload> core;
 
-    std::vector<CommittedBranch> trace;
-    std::deque<Inflight> inflight;
-    BlockId fetchBlock = 0;
-    std::uint64_t specTraceIdx = 0;
+    std::uint64_t totalBranches = 0;
     std::uint64_t commitIdx = 0;
     std::uint64_t uopsSinceFlush = 0;
 

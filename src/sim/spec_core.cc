@@ -1,0 +1,187 @@
+#include "sim/spec_core.hh"
+
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+template <typename Payload>
+SpecCore<Payload>::SpecCore(Program &program_,
+                            ProphetCriticHybrid &hybrid_,
+                            const SpecCoreConfig &config)
+    : program(program_), hybrid(hybrid_), cfg(config),
+      btb(config.btbEntries, config.btbWays)
+{
+}
+
+template <typename Payload>
+void
+SpecCore<Payload>::beginRun(CommittedStream *oracle_,
+                            std::uint64_t oracle_limit,
+                            BlockId start_block)
+{
+    pcbp_assert(!cfg.oracleFutureBits || oracle_ != nullptr,
+                "oracle future bits need a committed stream");
+    oracle = oracle_;
+    oracleLimit = oracle_limit;
+    fetchBlock = start_block;
+    specTraceIdx = 0;
+    q.clear();
+}
+
+template <typename Payload>
+typename SpecCore<Payload>::Record &
+SpecCore<Payload>::fetchNext()
+{
+    const BasicBlock &b = program.block(fetchBlock);
+
+    Record r;
+    r.block = fetchBlock;
+    r.pc = b.branchPc;
+    r.numUops = b.numUops;
+    r.traceIdx = specTraceIdx++;
+    r.btbHit = !cfg.useBtb || btb.lookup(r.pc);
+
+    if (r.btbHit) {
+        r.prophetPred = hybrid.predictBranch(r.pc, r.ctx);
+        r.finalPred = r.prophetPred;
+    } else {
+        // The front end does not see the branch: implicit
+        // fall-through, no history insertion, no critique. Keep a
+        // checkpoint of the (unmodified) registers for repair.
+        r.prophetPred = false;
+        r.finalPred = false;
+        r.critiqued = true;
+        r.ctx.bhrBefore = hybrid.bhr();
+        r.ctx.borBefore = hybrid.bor();
+    }
+
+    fetchBlock = program.successor(fetchBlock, r.finalPred);
+    q.push_back(std::move(r));
+    return q.back();
+}
+
+template <typename Payload>
+unsigned
+SpecCore<Payload>::futureBitsAvailable(std::size_t idx) const
+{
+    const unsigned want = std::max(1u, hybrid.numFutureBits());
+    unsigned avail = hybrid.numFutureBits() == 0 ? want : 1;
+    for (std::size_t j = idx + 1; j < q.size() && avail < want; ++j) {
+        if (q[j].btbHit)
+            ++avail;
+    }
+    return avail;
+}
+
+template <typename Payload>
+CritiqueOutcome
+SpecCore<Payload>::critique(std::size_t idx)
+{
+    Record &r = q[idx];
+    pcbp_assert(!r.critiqued && r.btbHit);
+
+    const unsigned want = hybrid.numFutureBits();
+    fbScratch.clear();
+    if (want > 0) {
+        if (cfg.oracleFutureBits) {
+            // Ablation (§6): correct-path outcomes as future bits.
+            // Only meaningful for correct-path branches; wrong-path
+            // records are squashed before their critique matters.
+            for (std::uint64_t t = r.traceIdx;
+                 fbScratch.size() < want && t < oracleLimit; ++t) {
+                const CommittedBranch *cb = oracle->at(t);
+                if (!cb)
+                    break;
+                fbScratch.push(cb->taken);
+            }
+            if (fbScratch.empty())
+                fbScratch.push(r.prophetPred);
+        } else {
+            // Real mode: the prophet's predictions for this branch
+            // and the (BTB-identified) branches fetched after it,
+            // oldest first.
+            fbScratch.push(r.prophetPred);
+            for (std::size_t j = idx + 1;
+                 j < q.size() && fbScratch.size() < want; ++j) {
+                if (q[j].btbHit)
+                    fbScratch.push(q[j].prophetPred);
+            }
+        }
+    }
+
+    CritiqueDecision d =
+        hybrid.critiqueBranch(r.pc, r.ctx, r.prophetPred, fbScratch);
+    r.critiqued = true;
+    r.finalPred = d.finalPrediction;
+
+    CritiqueOutcome out;
+    out.overrode = d.overrode;
+    out.bitsGathered = fbScratch.size();
+    r.decision = std::move(d);
+
+    if (out.overrode) {
+        out.squashed = q.size() - idx - 1;
+        // Queue-only flush: every younger prediction is uncritiqued
+        // (critiques are issued oldest-first), so the flush is
+        // confined to the queue (§5).
+        for (std::size_t j = idx + 1; j < q.size(); ++j)
+            pcbp_assert(!q[j].btbHit || !q[j].critiqued);
+        q.resize(idx + 1);
+        hybrid.overrideRedirect(r.ctx, r.finalPred);
+        fetchBlock = program.successor(r.block, r.finalPred);
+        specTraceIdx = r.traceIdx + 1;
+    }
+    return out;
+}
+
+template <typename Payload>
+void
+SpecCore<Payload>::recoverAndRedirect(const Record &r, bool outcome)
+{
+    hybrid.recoverMispredict(r.ctx, outcome);
+    fetchBlock = program.successor(r.block, outcome);
+    specTraceIdx = r.traceIdx + 1;
+}
+
+template <typename Payload>
+void
+SpecCore<Payload>::commitTrain(const Record &r, bool outcome)
+{
+    hybrid.commitBranch(r.pc, r.ctx, r.decision, outcome);
+    if (cfg.useBtb && !r.btbHit)
+        btb.allocate(r.pc);
+}
+
+template <typename Payload>
+typename SpecCore<Payload>::Record &
+SpecCore<Payload>::front()
+{
+    pcbp_assert(!q.empty());
+    return q.front();
+}
+
+template <typename Payload>
+typename SpecCore<Payload>::Record
+SpecCore<Payload>::popFront()
+{
+    pcbp_assert(!q.empty());
+    Record r = std::move(q.front());
+    q.pop_front();
+    return r;
+}
+
+template <typename Payload>
+std::optional<std::size_t>
+SpecCore<Payload>::oldestUncriticized() const
+{
+    for (std::size_t i = 0; i < q.size(); ++i)
+        if (!q[i].critiqued)
+            return i;
+    return std::nullopt;
+}
+
+template class SpecCore<EnginePayload>;
+template class SpecCore<FtqPayload>;
+
+} // namespace pcbp

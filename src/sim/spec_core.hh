@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The shared speculative front end (spec core).
+ *
+ * Both simulators — the wrong-path accuracy Engine and the
+ * cycle-level TimingSim — model the same §3/§5 protocol around the
+ * prophet/critic hybrid:
+ *
+ *   checkpointed predict  -> the prophet predicts a fetch block (or
+ *                            the BTB misses and fetch falls through),
+ *                            speculation advances down the CFG;
+ *   future-bit gather     -> a branch's critique consumes the
+ *                            prophet's predictions for it and the
+ *                            (BTB-identified) branches after it;
+ *   critique / override   -> a disagree critique flushes every
+ *                            younger queued prediction and redirects
+ *                            the prophet down the other path;
+ *   resolve / recover     -> a resolved mispredict repairs the
+ *                            checkpointed BHR/BOR and redirects;
+ *   commit-train          -> the committed branch trains prophet and
+ *                            critic (critique-time BOR, §3.3) and
+ *                            allocates its BTB entry.
+ *
+ * SpecCore owns that protocol once: the speculation queue of
+ * in-flight SpecRecords (the Engine's whole pipeline, the
+ * TimingSim's FTQ), the BTB, the speculative fetch pointer, and a
+ * reusable future-bit scratch buffer so the hot critique path does
+ * no heap allocation. What differs per simulator — when to fetch,
+ * when the critic gets bandwidth, what leaves the queue into a
+ * backing instruction window, and which cycles anything costs — is
+ * caller policy layered on these primitives. Per-model state rides
+ * along in the Payload type parameter. See DESIGN.md §4.
+ */
+
+#ifndef PCBP_SIM_SPEC_CORE_HH
+#define PCBP_SIM_SPEC_CORE_HH
+
+#include <deque>
+#include <optional>
+
+#include "common/future_bits.hh"
+#include "core/prophet_critic.hh"
+#include "sim/btb.hh"
+#include "sim/committed_stream.hh"
+#include "workload/cfg.hh"
+
+namespace pcbp
+{
+
+/**
+ * One in-flight speculated branch, shared by both simulators; the
+ * payload carries per-model extras (nothing for the accuracy engine,
+ * cache-consumption state for the timing model's FTQ).
+ */
+template <typename Payload>
+struct SpecRecord
+{
+    BlockId block = invalidBlock;
+    Addr pc = 0;
+    std::uint32_t numUops = 0;
+    std::uint64_t traceIdx = 0;
+    bool btbHit = true;
+    bool prophetPred = false;
+    bool finalPred = false;
+    bool critiqued = false;
+    std::optional<CritiqueDecision> decision;
+    BranchContext ctx;
+    Payload payload{};
+};
+
+/** The accuracy engine needs nothing beyond the shared record. */
+struct EnginePayload
+{
+};
+
+/** Timing-model FTQ extras: cache consumption progress and age. */
+struct FtqPayload
+{
+    std::uint32_t uopsLeft = 0; //!< uops not yet consumed by the cache
+    Cycle fetchCycle = 0;       //!< cycle the prophet produced it
+};
+
+/** Spec-core configuration (the sim-config subset it implements). */
+struct SpecCoreConfig
+{
+    /** Model the BTB of §5 (miss = fall-through, allocate at commit). */
+    bool useBtb = true;
+    std::size_t btbEntries = 4096;
+    unsigned btbWays = 4;
+
+    /**
+     * Ablation (§6): feed critiques correct-path outcomes from the
+     * committed stream instead of the prophet's wrong-path
+     * predictions. Requires an oracle stream in beginRun().
+     */
+    bool oracleFutureBits = false;
+};
+
+/** What one critique did, for the caller's stats/timing policy. */
+struct CritiqueOutcome
+{
+    /** The critic overrode; younger queue entries were squashed. */
+    bool overrode = false;
+
+    /** Queue records flushed by the override. */
+    std::size_t squashed = 0;
+
+    /** Future bits the critique actually consumed. */
+    unsigned bitsGathered = 0;
+};
+
+template <typename Payload>
+class SpecCore
+{
+  public:
+    using Record = SpecRecord<Payload>;
+
+    SpecCore(Program &program, ProphetCriticHybrid &hybrid,
+             const SpecCoreConfig &config);
+
+    /**
+     * Arm the core for a run: clear the queue and point speculative
+     * fetch at @p start_block. @p oracle (with records below
+     * @p oracle_limit readable) is required iff oracleFutureBits is
+     * configured. The BTB deliberately persists across runs, as it
+     * always has.
+     */
+    void beginRun(CommittedStream *oracle, std::uint64_t oracle_limit,
+                  BlockId start_block);
+
+    /**
+     * Fetch the next speculative block: BTB lookup, checkpointed
+     * prophet prediction (or implicit fall-through on a BTB miss),
+     * advance fetch down the predicted edge, append to the queue.
+     * The caller enforces its own queue bound before calling.
+     *
+     * @return The queued record (valid until the queue changes), so
+     *         callers can fill in payload fields.
+     */
+    Record &fetchNext();
+
+    /**
+     * Future bits obtainable for queue entry @p idx right now: its
+     * own prediction plus the predictions of younger BTB-hit entries
+     * (saturating at the configured requirement; always "enough"
+     * when no future bits are configured).
+     */
+    unsigned futureBitsAvailable(std::size_t idx) const;
+
+    /**
+     * Critique queue entry @p idx with whatever future bits are
+     * gathered (fewer than configured is legal, §5). On a disagree
+     * critique, flushes every younger queue entry, repairs the
+     * speculative registers, and redirects fetch down the critic's
+     * edge. Stats and stall cycles are the caller's business.
+     */
+    CritiqueOutcome critique(std::size_t idx);
+
+    /**
+     * Resolved-mispredict recovery (§3.3): repair the speculative
+     * registers from @p r's checkpoint with the architectural
+     * @p outcome and redirect fetch down the correct edge. The
+     * caller squashes its own structures (clearQueue(), window...).
+     */
+    void recoverAndRedirect(const Record &r, bool outcome);
+
+    /**
+     * Commit-time training (§3.2/§3.3): non-speculative prophet and
+     * critic update, plus BTB allocation if the branch missed.
+     */
+    void commitTrain(const Record &r, bool outcome);
+
+    /** @name The speculation queue (engine pipeline / timing FTQ). */
+    /// @{
+    bool queueEmpty() const { return q.empty(); }
+    std::size_t queueSize() const { return q.size(); }
+    Record &at(std::size_t i) { return q[i]; }
+    const Record &at(std::size_t i) const { return q[i]; }
+    Record &front();
+
+    /** Pop the oldest record out of the queue (to commit/consume). */
+    Record popFront();
+
+    /** Index of the oldest uncritiqued entry, if any. */
+    std::optional<std::size_t> oldestUncriticized() const;
+
+    /** Drop everything queued (pipeline flush). */
+    void clearQueue() { q.clear(); }
+    /// @}
+
+    /** Next speculative trace index (diagnostics/tests). */
+    std::uint64_t specIndex() const { return specTraceIdx; }
+
+  private:
+    Program &program;
+    ProphetCriticHybrid &hybrid;
+    SpecCoreConfig cfg;
+    Btb btb;
+
+    std::deque<Record> q;
+    CommittedStream *oracle = nullptr;
+    std::uint64_t oracleLimit = 0;
+    BlockId fetchBlock = 0;
+    std::uint64_t specTraceIdx = 0;
+
+    /** Reusable gather buffer: no allocation on the critique path. */
+    FutureBits fbScratch;
+};
+
+extern template class SpecCore<EnginePayload>;
+extern template class SpecCore<FtqPayload>;
+
+} // namespace pcbp
+
+#endif // PCBP_SIM_SPEC_CORE_HH

@@ -5,10 +5,25 @@
 namespace pcbp
 {
 
+namespace
+{
+
+SpecCoreConfig
+coreConfig(const TimingConfig &cfg)
+{
+    SpecCoreConfig c;
+    c.useBtb = cfg.useBtb;
+    c.btbEntries = cfg.btbEntries;
+    c.btbWays = cfg.btbWays;
+    return c;
+}
+
+} // namespace
+
 TimingSim::TimingSim(Program &program_, ProphetCriticHybrid &hybrid_,
                      const TimingConfig &config)
     : program(program_), hybrid(hybrid_), cfg(config),
-      btb(config.btbEntries, config.btbWays), ftq(config.ftqSize)
+      core(program_, hybrid_, coreConfig(config))
 {
     pcbp_assert(cfg.fetchWidth >= 1 && cfg.retireWidth >= 1);
     pcbp_assert(cfg.prophetBw >= 1 && cfg.criticBw >= 1);
@@ -16,114 +31,79 @@ TimingSim::TimingSim(Program &program_, ProphetCriticHybrid &hybrid_,
                 "FTQ must be deeper than the future-bit count");
 }
 
-unsigned
-TimingSim::futureBitsAvailable(std::size_t idx) const
-{
-    const unsigned want = std::max(1u, hybrid.numFutureBits());
-    unsigned avail = hybrid.numFutureBits() == 0 ? want : 1;
-    for (std::size_t j = idx + 1; j < ftq.size() && avail < want; ++j) {
-        if (ftq.at(j).btbHit)
-            ++avail;
-    }
-    return avail;
-}
-
 void
 TimingSim::critiqueFtqEntry(std::size_t idx, bool partial)
 {
-    FtqEntry &e = ftq.at(idx);
-    pcbp_assert(!e.critiqued && e.btbHit);
-
-    const unsigned want = hybrid.numFutureBits();
-    std::vector<bool> fb;
-    if (want > 0) {
-        fb.reserve(want);
-        fb.push_back(e.prophetPred);
-        for (std::size_t j = idx + 1; j < ftq.size() && fb.size() < want;
-             ++j) {
-            if (ftq.at(j).btbHit)
-                fb.push_back(ftq.at(j).prophetPred);
-        }
-        if (partial && fb.size() < want && measuring())
-            ++stats.partialCritiques;
+    const CritiqueOutcome out = core.critique(idx);
+    if (partial && out.bitsGathered < hybrid.numFutureBits() &&
+        measuring()) {
+        ++stats.partialCritiques;
     }
-
-    CritiqueDecision d =
-        hybrid.critiqueBranch(e.pc, e.ctx, e.prophetPred, fb);
-    e.critiqued = true;
-    e.finalPred = d.finalPrediction;
-    const bool overrode = d.overrode;
-    e.decision = std::move(d);
-
-    if (overrode) {
+    if (out.overrode) {
         if (measuring()) {
             ++stats.criticOverrides;
-            stats.ftqEntriesFlushedByCritic += ftq.size() - idx - 1;
+            stats.ftqEntriesFlushedByCritic += out.squashed;
         }
-        ftq.flushYoungerThan(idx);
-        hybrid.overrideRedirect(e.ctx, e.finalPred);
-        fetchBlock = program.successor(e.block, e.finalPred);
-        specTraceIdx = e.traceIdx + 1;
         prophetStalledUntil = now + cfg.redirectPenalty;
     }
 }
 
 void
-TimingSim::flushPipeline(const WindowBlock &mispredicted, bool outcome)
+TimingSim::flushPipeline(const FtqRecord &mispredicted, bool outcome)
 {
     // Squash everything younger than the mispredicted branch: the
     // tail of the window, plus the whole FTQ (consumed-but-unretired
     // uops were fetched down the wrong path).
     std::uint64_t squashed_uops = 0;
     while (!window.empty() &&
-           window.back().traceIdx > mispredicted.traceIdx) {
-        squashed_uops += window.back().uops;
-        windowUops -= window.back().uops;
+           window.back().r.traceIdx > mispredicted.traceIdx) {
+        squashed_uops += window.back().r.numUops;
+        windowUops -= window.back().r.numUops;
         window.pop_back();
     }
-    for (std::size_t i = 0; i < ftq.size(); ++i) {
-        const FtqEntry &e = ftq.at(i);
-        squashed_uops += e.numUops - e.uopsLeft;
+    for (std::size_t i = 0; i < core.queueSize(); ++i) {
+        const FtqRecord &e = core.at(i);
+        squashed_uops += e.numUops - e.payload.uopsLeft;
     }
-    ftq.flushAll();
+    core.clearQueue();
 
     if (measuring())
         stats.wrongPathFetchedUops += squashed_uops;
 
-    hybrid.recoverMispredict(mispredicted.ctx, outcome);
-    fetchBlock = program.successor(mispredicted.block, outcome);
-    specTraceIdx = mispredicted.traceIdx + 1;
+    core.recoverAndRedirect(mispredicted, outcome);
     prophetStalledUntil = now + cfg.redirectPenalty;
     cacheStalledUntil = now + cfg.frontEndRefill;
 }
 
 void
-TimingSim::stepResolve()
+TimingSim::stepResolve(CommittedStream &committed)
 {
     for (auto &b : window) {
         if (b.resolved)
             continue;
         if (b.readyCycle > now)
             break; // in-order: younger blocks are not ready either
-        if (b.traceIdx >= trace.size())
+        if (b.r.traceIdx >= totalBranches)
             break; // speculative past the end of the run
-        pcbp_assert(b.traceIdx == resolveIdx,
+        const CommittedBranch *cb = committed.at(b.r.traceIdx);
+        pcbp_assert(cb != nullptr, "committed stream ended mid-run");
+        pcbp_assert(b.r.traceIdx == resolveIdx,
                     "resolution diverged from the architectural path");
-        pcbp_assert(b.block == trace[resolveIdx].block);
-        const bool outcome = trace[resolveIdx].taken;
+        pcbp_assert(b.r.block == cb->block);
+        const bool outcome = cb->taken;
         b.resolved = true;
         ++resolveIdx;
-        if (b.finalPred != outcome) {
+        if (b.r.finalPred != outcome) {
             if (measuring())
                 ++stats.finalMispredicts;
-            flushPipeline(b, outcome);
+            flushPipeline(b.r, outcome);
             break; // everything younger is gone
         }
     }
 }
 
 void
-TimingSim::stepRetire()
+TimingSim::stepRetire(CommittedStream &committed)
 {
     unsigned budget = cfg.retireWidth;
     while (budget > 0 && !window.empty() && commitIdx < totalBranches) {
@@ -131,28 +111,28 @@ TimingSim::stepRetire()
         if (!b.resolved)
             break;
         const std::uint32_t chunk =
-            std::min<std::uint32_t>(budget, b.uops - b.retired);
+            std::min<std::uint32_t>(budget, b.r.numUops - b.retired);
         b.retired += chunk;
         budget -= chunk;
         if (measuring()) {
             stats.committedUops += chunk;
         }
-        if (b.retired < b.uops)
+        if (b.retired < b.r.numUops)
             break;
 
         // Whole block retired: the branch commits.
-        pcbp_assert(b.traceIdx == commitIdx);
-        const bool outcome = trace[commitIdx].taken;
-        hybrid.commitBranch(b.pc, b.ctx, b.decision, outcome);
-        if (cfg.useBtb && !b.btbHit)
-            btb.allocate(b.pc);
+        pcbp_assert(b.r.traceIdx == commitIdx);
+        const CommittedBranch *cb = committed.at(commitIdx);
+        pcbp_assert(cb != nullptr, "committed stream ended mid-run");
+        core.commitTrain(b.r, cb->taken);
         if (measuring())
             ++stats.committedBranches;
         ++commitIdx;
         if (commitIdx == cfg.warmupBranches)
             measureStartCycle = now;
-        windowUops -= b.uops;
+        windowUops -= b.r.numUops;
         window.pop_front();
+        committed.release(commitIdx);
     }
 }
 
@@ -162,11 +142,11 @@ TimingSim::stepCritic()
     if (!hybrid.hasCritic())
         return;
     for (unsigned i = 0; i < cfg.criticBw; ++i) {
-        const auto idx = ftq.oldestUncriticized();
+        const auto idx = core.oldestUncriticized();
         if (!idx)
             return;
         const unsigned want = std::max(1u, hybrid.numFutureBits());
-        if (futureBitsAvailable(*idx) < want)
+        if (core.futureBitsAvailable(*idx) < want)
             return; // wait for the prophet to run further ahead
         critiqueFtqEntry(*idx, false);
     }
@@ -178,13 +158,13 @@ TimingSim::stepFetch()
     unsigned budget = cfg.fetchWidth;
     if (now < cacheStalledUntil)
         return;
-    if (ftq.empty()) {
+    if (core.queueEmpty()) {
         if (measuring())
             ++stats.ftqEmptyCycles;
         return;
     }
-    while (budget > 0 && !ftq.empty()) {
-        FtqEntry &e = ftq.head();
+    while (budget > 0 && !core.queueEmpty()) {
+        FtqRecord &e = core.front();
         if (windowUops + e.numUops > cfg.windowSize)
             break; // window full
         if (!e.critiqued && e.btbHit && hybrid.hasCritic()) {
@@ -192,30 +172,21 @@ TimingSim::stepFetch()
             // critique gathered all its future bits.
             critiqueFtqEntry(0, true);
         }
-        FtqEntry &h = ftq.head(); // critique may have flushed others
+        FtqRecord &h = core.front(); // critique may have flushed others
         const std::uint32_t chunk =
-            std::min<std::uint32_t>(budget, h.uopsLeft);
-        h.uopsLeft -= chunk;
+            std::min<std::uint32_t>(budget, h.payload.uopsLeft);
+        h.payload.uopsLeft -= chunk;
         budget -= chunk;
         if (measuring())
             stats.fetchedUops += chunk;
-        if (h.uopsLeft > 0)
+        if (h.payload.uopsLeft > 0)
             break;
 
         WindowBlock wb;
-        wb.block = h.block;
-        wb.pc = h.pc;
-        wb.uops = h.numUops;
-        wb.traceIdx = h.traceIdx;
         wb.readyCycle = now + cfg.resolveDepth;
-        wb.btbHit = h.btbHit;
-        wb.prophetPred = h.prophetPred;
-        wb.finalPred = h.finalPred;
-        wb.decision = std::move(h.decision);
-        wb.ctx = std::move(h.ctx);
-        windowUops += wb.uops;
+        wb.r = core.popFront();
+        windowUops += wb.r.numUops;
         window.push_back(std::move(wb));
-        ftq.popHead();
     }
 }
 
@@ -225,41 +196,31 @@ TimingSim::stepProphet()
     if (now < prophetStalledUntil)
         return;
     for (unsigned i = 0; i < cfg.prophetBw; ++i) {
-        if (ftq.full())
-            return;
-        const BasicBlock &b = program.block(fetchBlock);
-        FtqEntry e;
-        e.block = fetchBlock;
-        e.pc = b.branchPc;
-        e.numUops = b.numUops;
-        e.uopsLeft = b.numUops;
-        e.traceIdx = specTraceIdx++;
-        e.fetchCycle = now;
-        e.btbHit = !cfg.useBtb || btb.lookup(e.pc);
-        if (e.btbHit) {
-            e.prophetPred = hybrid.predictBranch(e.pc, e.ctx);
-            e.finalPred = e.prophetPred;
-        } else {
-            e.prophetPred = false;
-            e.finalPred = false;
-            e.critiqued = true;
-            e.ctx.bhrBefore = hybrid.bhr();
-            e.ctx.borBefore = hybrid.bor();
-        }
-        fetchBlock = program.successor(fetchBlock, e.finalPred);
-        ftq.push(std::move(e));
+        if (core.queueSize() >= cfg.ftqSize)
+            return; // FTQ full
+        FtqRecord &e = core.fetchNext();
+        e.payload.uopsLeft = e.numUops;
+        e.payload.fetchCycle = now;
     }
 }
 
 TimingStats
 TimingSim::run()
 {
-    const std::uint64_t total = cfg.warmupBranches + cfg.measureBranches;
-    totalBranches = total;
-    trace = walkProgram(program, total);
+    ProgramWalkStream stream(program,
+                             cfg.warmupBranches + cfg.measureBranches);
+    return run(stream);
+}
 
-    fetchBlock = program.entry();
-    specTraceIdx = 0;
+TimingStats
+TimingSim::run(CommittedStream &committed)
+{
+    totalBranches = std::min(cfg.warmupBranches + cfg.measureBranches,
+                             committed.length());
+
+    const CommittedBranch *first = committed.at(0);
+    core.beginRun(nullptr, 0,
+                  first ? first->block : program.entry());
     resolveIdx = 0;
     commitIdx = 0;
     now = 0;
@@ -270,9 +231,9 @@ TimingSim::run()
     stats = TimingStats{};
     measureStartCycle = 0;
 
-    while (commitIdx < total) {
-        stepResolve();
-        stepRetire();
+    while (commitIdx < totalBranches) {
+        stepResolve(committed);
+        stepRetire(committed);
         stepCritic();
         stepFetch();
         stepProphet();

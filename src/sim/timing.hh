@@ -11,6 +11,14 @@
  * entries (forcing a partial critique when it reaches an
  * uncriticized one, as §5 describes).
  *
+ * The speculative protocol (checkpointed predict, future-bit gather,
+ * critique/override, recover, commit-train) is the shared SpecCore
+ * (sim/spec_core.hh); the FTQ is its speculation queue, bounded by
+ * ftqSize here. This file adds only the clock: bandwidths, the
+ * instruction window, and resolve/retire latency. The committed path
+ * arrives through a CommittedStream with a pipeline-bounded resident
+ * window, so run length does not affect memory.
+ *
  * Back end: consumed blocks enter a 2048-uop window; every uop
  * becomes ready resolveDepth (30) cycles after it is fetched
  * (modeling the Pentium 4-derived pipeline depth); retirement is
@@ -19,7 +27,7 @@
  * whole FTQ.
  *
  * Simplifications versus the paper's simulator (documented in
- * DESIGN.md): ideal caches and no data-dependence stalls, so
+ * DESIGN.md §2): ideal caches and no data-dependence stalls, so
  * absolute uPC is higher than the paper's, but the branch-mispredict
  * exposure that drives the uPC deltas of Figs. 9-10 is modeled
  * directly.
@@ -31,8 +39,8 @@
 #include <deque>
 
 #include "core/prophet_critic.hh"
-#include "sim/btb.hh"
-#include "sim/ftq.hh"
+#include "sim/committed_stream.hh"
+#include "sim/spec_core.hh"
 #include "workload/cfg.hh"
 
 namespace pcbp
@@ -107,50 +115,43 @@ class TimingSim
     TimingSim(Program &program, ProphetCriticHybrid &hybrid,
               const TimingConfig &config);
 
+    /** Run over the program's own committed walk (streamed). */
     TimingStats run();
 
+    /** Run against an explicit committed stream (trace replay). */
+    TimingStats run(CommittedStream &committed);
+
   private:
+    using FtqRecord = SpecRecord<FtqPayload>;
+
     /** A consumed fetch block waiting in the instruction window. */
     struct WindowBlock
     {
-        BlockId block = invalidBlock;
-        Addr pc = 0;
-        std::uint32_t uops = 0;
+        FtqRecord r;
         std::uint32_t retired = 0;
-        std::uint64_t traceIdx = 0;
         Cycle readyCycle = 0;
-        bool btbHit = true;
-        bool prophetPred = false;
-        bool finalPred = false;
         bool resolved = false;
-        std::optional<CritiqueDecision> decision;
-        BranchContext ctx;
     };
 
-    void stepResolve();
-    void stepRetire();
+    void stepResolve(CommittedStream &committed);
+    void stepRetire(CommittedStream &committed);
     void stepCritic();
     void stepFetch();
     void stepProphet();
 
-    unsigned futureBitsAvailable(std::size_t idx) const;
     void critiqueFtqEntry(std::size_t idx, bool partial);
-    void flushPipeline(const WindowBlock &mispredicted, bool outcome);
+    void flushPipeline(const FtqRecord &mispredicted, bool outcome);
 
     bool measuring() const { return commitIdx >= cfg.warmupBranches; }
 
     Program &program;
     ProphetCriticHybrid &hybrid;
     TimingConfig cfg;
-    Btb btb;
-    Ftq ftq;
+    SpecCore<FtqPayload> core;
 
-    std::vector<CommittedBranch> trace;
     std::deque<WindowBlock> window;
     std::size_t windowUops = 0;
 
-    BlockId fetchBlock = 0;
-    std::uint64_t specTraceIdx = 0;
     std::uint64_t resolveIdx = 0; //!< next trace index to resolve
     std::uint64_t commitIdx = 0;  //!< next trace index to retire
     Cycle now = 0;
@@ -160,8 +161,6 @@ class TimingSim
 
     TimingStats stats;
     Cycle measureStartCycle = 0;
-    std::uint64_t uopsAtMeasureStart = 0;
-    std::uint64_t fetchedAtMeasureStart = 0;
 };
 
 } // namespace pcbp

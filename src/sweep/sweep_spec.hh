@@ -18,7 +18,8 @@
  * Lists are comma-separated; '#' starts a comment. Workload
  * selectors resolve, in order: AVG (the 14-workload basket), ALL
  * (every registered workload), a suite name (INT00, ..., FIG5, GCC),
- * or an individual workload name.
+ * or an individual workload name — including trace:<path>, which
+ * sweeps over a recorded PCBPTRC1 committed stream (suites.hh).
  *
  * The expansion into SweepCells is deterministic, and each cell
  * carries a canonical content key — the unit of resume in the

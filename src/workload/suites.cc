@@ -1,8 +1,11 @@
 #include "workload/suites.hh"
 
 #include <algorithm>
+#include <deque>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "workload/trace.hh"
 
 namespace pcbp
 {
@@ -373,9 +376,48 @@ knownNames(bool suites)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Trace workloads are registered on first lookup, keyed by the full
+ * "trace:<path>" name. A deque keeps Workload addresses stable (the
+ * driver and sweep layers hold const Workload*), and the mutex makes
+ * concurrent lookups from pooled workers safe.
+ */
+const Workload &
+traceWorkload(const std::string &name)
+{
+    static std::mutex mtx;
+    static std::deque<Workload> registry;
+    std::lock_guard<std::mutex> lock(mtx);
+    for (const auto &w : registry)
+        if (w.name == name)
+            return w;
+
+    const std::string path = name.substr(std::string("trace:").size());
+    const std::uint64_t count = traceFileCount(path);
+    if (count == 0)
+        pcbp_fatal("trace workload '", path, "' has no records");
+
+    Workload w;
+    w.name = name;
+    w.suite = "TRACE";
+    w.tracePath = path;
+    // Default run length: the whole file, with a tenth as warmup.
+    w.warmupBranches = count / 10;
+    w.simBranches = count - w.warmupBranches;
+    registry.push_back(std::move(w));
+    return registry.back();
+}
+
+} // namespace
+
 const Workload &
 workloadByName(const std::string &name)
 {
+    if (name.rfind("trace:", 0) == 0)
+        return traceWorkload(name);
     for (const auto &w : allWorkloads())
         if (w.name == name)
             return w;
@@ -428,6 +470,8 @@ fig5Set()
 Program
 buildProgram(const Workload &w)
 {
+    if (!w.tracePath.empty())
+        return reconstructProgramFromTrace(w.tracePath, w.name);
     return generateProgram(w.recipe);
 }
 

@@ -9,6 +9,11 @@
  * paper's 90-95% band (higher for FP00, lower for SERV) and so the
  * per-benchmark future-bit response reproduces the qualitative
  * shapes of Fig. 5. See DESIGN.md §3 for the substitution rationale.
+ *
+ * Beyond the synthetic registry, `trace:<path>` names a recorded
+ * PCBPTRC1 committed-branch trace as a workload (suite "TRACE"):
+ * the CFG is reconstructed from the file and the committed stream is
+ * replayed from it — see DESIGN.md §5 and tools/pcbp_trace.cc.
  */
 
 #ifndef PCBP_WORKLOAD_SUITES_HH
@@ -33,12 +38,21 @@ struct Workload
     std::uint64_t simBranches = 250000;
     /** Committed branches of warmup before stats collection. */
     std::uint64_t warmupBranches = 25000;
+    /**
+     * Non-empty for trace workloads: path of the PCBPTRC1 file that
+     * provides the committed stream (the recipe is unused then).
+     */
+    std::string tracePath;
 };
 
 /** Every registered workload. */
 const std::vector<Workload> &allWorkloads();
 
-/** Find by name (fatal if unknown, listing the known names). */
+/**
+ * Find by name (fatal if unknown, listing the known names).
+ * `trace:<path>` registers (and caches) a trace-file workload whose
+ * run length defaults to the file's record count.
+ */
 const Workload &workloadByName(const std::string &name);
 
 /**

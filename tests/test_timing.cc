@@ -1,14 +1,16 @@
 /**
  * @file
- * Unit tests for the FTQ and the cycle-level timing model: bounds,
- * bandwidth limits, flush behavior, and agreement with the accuracy
- * engine on what commits.
+ * Unit tests for the spec-core speculation queue (the timing model's
+ * FTQ) and the cycle-level timing model: bounds, bandwidth limits,
+ * flush behavior, and agreement with the accuracy engine on what
+ * commits.
  */
 
 #include <gtest/gtest.h>
 
+#include "predictors/static_pred.hh"
 #include "sim/driver.hh"
-#include "sim/ftq.hh"
+#include "sim/spec_core.hh"
 #include "sim/timing.hh"
 
 namespace pcbp
@@ -16,70 +18,126 @@ namespace pcbp
 namespace
 {
 
-FtqEntry
-entry(BlockId b, bool critiqued = false)
+/** Two-block always-taken loop for queue-mechanics tests. */
+Program
+loopProgram()
 {
-    FtqEntry e;
-    e.block = b;
-    e.pc = 0x1000 + b * 16;
-    e.numUops = 8;
-    e.uopsLeft = 8;
-    e.critiqued = critiqued;
-    return e;
+    Program p("loop");
+    for (int i = 0; i < 2; ++i) {
+        BasicBlock b;
+        b.branchPc = 0x1000 + i * 16;
+        b.numUops = 8;
+        b.takenTarget = static_cast<BlockId>(1 - i);
+        b.fallthroughTarget = static_cast<BlockId>(1 - i);
+        b.behavior = std::make_unique<BiasedBehavior>(1.0, i + 1);
+        p.addBlock(std::move(b));
+    }
+    p.validate();
+    return p;
 }
 
-// -------------------------------------------------------------------- FTQ
+// --------------------------------------------- spec-core queue (FTQ)
 
-TEST(Ftq, CapacityAndFifo)
+TEST(SpecCoreQueue, FetchFillsFifoInSpeculationOrder)
 {
-    Ftq q(3);
-    EXPECT_TRUE(q.empty());
-    q.push(entry(0));
-    q.push(entry(1));
-    q.push(entry(2));
-    EXPECT_TRUE(q.full());
-    EXPECT_EQ(q.head().block, 0u);
-    q.popHead();
-    EXPECT_EQ(q.head().block, 1u);
-    EXPECT_FALSE(q.full());
+    Program p = loopProgram();
+    auto h = prophetAlone(ProphetKind::AlwaysTaken, Budget::B2KB).build();
+    SpecCoreConfig cc;
+    cc.useBtb = false;
+    SpecCore<FtqPayload> core(p, *h, cc);
+    core.beginRun(nullptr, 0, p.entry());
+
+    for (int i = 0; i < 4; ++i) {
+        auto &e = core.fetchNext();
+        e.payload.uopsLeft = e.numUops;
+    }
+    EXPECT_EQ(core.queueSize(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(core.at(i).traceIdx, i);
+        EXPECT_EQ(core.at(i).block, BlockId(i % 2));
+        EXPECT_EQ(core.at(i).payload.uopsLeft, 8u);
+    }
+    const auto head = core.popFront();
+    EXPECT_EQ(head.traceIdx, 0u);
+    EXPECT_EQ(core.front().traceIdx, 1u);
+    EXPECT_EQ(core.queueSize(), 3u);
 }
 
-TEST(Ftq, OldestUncriticized)
+TEST(SpecCoreQueue, OldestUncriticized)
 {
-    Ftq q(8);
-    q.push(entry(0, true));
-    q.push(entry(1, true));
-    q.push(entry(2, false));
-    q.push(entry(3, false));
-    auto idx = q.oldestUncriticized();
+    Program p = loopProgram();
+    auto h = prophetAlone(ProphetKind::AlwaysTaken, Budget::B2KB).build();
+    SpecCoreConfig cc;
+    cc.useBtb = false;
+    SpecCore<FtqPayload> core(p, *h, cc);
+    core.beginRun(nullptr, 0, p.entry());
+
+    for (int i = 0; i < 4; ++i)
+        core.fetchNext();
+    core.at(0).critiqued = true;
+    core.at(1).critiqued = true;
+    auto idx = core.oldestUncriticized();
     ASSERT_TRUE(idx.has_value());
     EXPECT_EQ(*idx, 2u);
+
+    core.at(2).critiqued = true;
+    core.at(3).critiqued = true;
+    EXPECT_FALSE(core.oldestUncriticized().has_value());
 }
 
-TEST(Ftq, OldestUncriticizedNoneWhenAllDone)
+TEST(SpecCoreQueue, OverrideFlushesYoungerAndRedirects)
 {
-    Ftq q(4);
-    q.push(entry(0, true));
-    EXPECT_FALSE(q.oldestUncriticized().has_value());
+    // An always-taken program with an always-not-taken prophet and a
+    // tagged-gshare critic: once the critic learns, its disagree
+    // critique must flush every younger queued prediction.
+    Program p = loopProgram();
+    auto h = hybridSpec(ProphetKind::AlwaysNotTaken, Budget::B2KB,
+                        CriticKind::TaggedGshare, Budget::B2KB, 2)
+                 .build();
+    SpecCoreConfig cc;
+    cc.useBtb = false;
+    SpecCore<FtqPayload> core(p, *h, cc);
+    core.beginRun(nullptr, 0, p.entry());
+
+    // Train the critic: fetch, critique, commit a few rounds.
+    for (int round = 0; round < 64; ++round) {
+        while (core.queueSize() < 6)
+            core.fetchNext();
+        if (!core.front().critiqued)
+            core.critique(0);
+        auto r = core.popFront();
+        core.commitTrain(r, true);
+        if (r.finalPred != true) {
+            core.clearQueue();
+            core.recoverAndRedirect(r, true);
+        }
+    }
+
+    while (core.queueSize() < 6)
+        core.fetchNext();
+    ASSERT_FALSE(core.front().critiqued);
+    const CritiqueOutcome out = core.critique(0);
+    ASSERT_TRUE(out.overrode) << "trained critic must disagree";
+    EXPECT_EQ(out.squashed, 5u);
+    EXPECT_EQ(core.queueSize(), 1u);
+    EXPECT_TRUE(core.front().critiqued);
+    EXPECT_TRUE(core.front().finalPred);
+    EXPECT_EQ(core.specIndex(), core.front().traceIdx + 1);
 }
 
-TEST(Ftq, FlushYoungerThanKeepsPrefix)
+TEST(SpecCoreQueue, ClearQueueEmpties)
 {
-    Ftq q(8);
-    for (BlockId i = 0; i < 5; ++i)
-        q.push(entry(i));
-    EXPECT_EQ(q.flushYoungerThan(1), 3u);
-    EXPECT_EQ(q.size(), 2u);
-    EXPECT_EQ(q.at(1).block, 1u);
-}
-
-TEST(Ftq, FlushAll)
-{
-    Ftq q(8);
-    q.push(entry(0));
-    q.push(entry(1));
-    EXPECT_EQ(q.flushAll(), 2u);
-    EXPECT_TRUE(q.empty());
+    Program p = loopProgram();
+    auto h = prophetAlone(ProphetKind::AlwaysTaken, Budget::B2KB).build();
+    SpecCoreConfig cc;
+    cc.useBtb = false;
+    SpecCore<FtqPayload> core(p, *h, cc);
+    core.beginRun(nullptr, 0, p.entry());
+    core.fetchNext();
+    core.fetchNext();
+    EXPECT_EQ(core.queueSize(), 2u);
+    core.clearQueue();
+    EXPECT_TRUE(core.queueEmpty());
 }
 
 // ----------------------------------------------------------------- Timing

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * pcbp_trace — committed-branch trace tooling (PCBPTRC1 format).
+ *
+ *   pcbp_trace record --workload NAME --out FILE [--branches N]
+ *       Walk a registered workload's CFG architecturally and stream
+ *       the committed branches to FILE (constant memory; N defaults
+ *       to the workload's warmup + measure budget).
+ *
+ *   pcbp_trace summarize FILE
+ *       One chunked pass over FILE: branches, uops, taken rate,
+ *       static branch count.
+ *
+ *   pcbp_trace replay FILE [--prophet K] [--prophet-budget B]
+ *                          [--critic K|none] [--critic-budget B]
+ *                          [--future-bits N] [--warmup N]
+ *                          [--measure N] [--timing]
+ *       Reconstruct the CFG from FILE and drive the accuracy engine
+ *       (or, with --timing, the cycle-level model) with the file as
+ *       the committed stream — resident memory stays O(pipeline)
+ *       however long the trace is. Equivalent workload name for the
+ *       driver/sweep layers: trace:FILE.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "sim/driver.hh"
+#include "workload/trace.hh"
+
+using namespace pcbp;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s COMMAND [options]\n"
+        "  record    --workload NAME --out FILE [--branches N]\n"
+        "  summarize FILE\n"
+        "  replay    FILE [--prophet K] [--prophet-budget B]\n"
+        "                 [--critic K|none] [--critic-budget B]\n"
+        "                 [--future-bits N] [--warmup N] [--measure N]\n"
+        "                 [--timing]\n",
+        argv0);
+    std::exit(2);
+}
+
+std::uint64_t
+parseCount(const char *s)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0')
+        pcbp_fatal("bad count '", s, "'");
+    return v;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    std::string workload, out;
+    std::optional<std::uint64_t> branchesOpt;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--workload" && i + 1 < argc)
+            workload = argv[++i];
+        else if (a == "--out" && i + 1 < argc)
+            out = argv[++i];
+        else if (a == "--branches" && i + 1 < argc)
+            branchesOpt = parseCount(argv[++i]);
+        else
+            usage("pcbp_trace");
+    }
+    if (workload.empty() || out.empty())
+        usage("pcbp_trace");
+
+    const Workload &w = workloadByName(workload);
+    const std::uint64_t branches =
+        branchesOpt.value_or(w.warmupBranches + w.simBranches);
+
+    Program program = buildProgram(w);
+    ProgramWalkStream stream(program, branches);
+    TraceWriter writer(out);
+    for (std::uint64_t i = 0; i < branches; ++i) {
+        const CommittedBranch *cb = stream.at(i);
+        pcbp_assert(cb != nullptr);
+        writer.append(*cb);
+        stream.release(i + 1);
+    }
+    writer.finish();
+    std::printf("recorded %" PRIu64 " branches of '%s' to %s "
+                "(window peak %zu records)\n",
+                writer.written(), w.name.c_str(), out.c_str(),
+                stream.windowPeak());
+    return 0;
+}
+
+int
+cmdSummarize(const std::string &path)
+{
+    const TraceSummary s = summarizeTraceFile(path);
+    std::printf("%s\n", path.c_str());
+    std::printf("  branches         %" PRIu64 "\n", s.branches);
+    std::printf("  uops             %" PRIu64 "\n", s.uops);
+    std::printf("  taken rate       %.4f\n", s.takenRate());
+    std::printf("  uops per branch  %.2f\n", s.uopsPerBranch());
+    std::printf("  static branches  %" PRIu64 "\n", s.staticBranches);
+    return 0;
+}
+
+int
+cmdReplay(const std::string &path, int argc, char **argv)
+{
+    HybridSpec spec =
+        hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8);
+    std::optional<std::uint64_t> warmupOpt, measureOpt;
+    bool timing = false;
+    bool haveCritic = true;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--prophet" && i + 1 < argc)
+            spec.prophet = parseProphetKind(argv[++i]);
+        else if (a == "--prophet-budget" && i + 1 < argc)
+            spec.prophetBudget = parseBudget(argv[++i]);
+        else if (a == "--critic" && i + 1 < argc) {
+            const std::string k = argv[++i];
+            haveCritic = k != "none";
+            if (haveCritic)
+                spec.critic = parseCriticKind(k);
+        } else if (a == "--critic-budget" && i + 1 < argc)
+            spec.criticBudget = parseBudget(argv[++i]);
+        else if (a == "--future-bits" && i + 1 < argc)
+            spec.futureBits = unsigned(parseCount(argv[++i]));
+        else if (a == "--warmup" && i + 1 < argc)
+            warmupOpt = parseCount(argv[++i]);
+        else if (a == "--measure" && i + 1 < argc)
+            measureOpt = parseCount(argv[++i]);
+        else if (a == "--timing")
+            timing = true;
+        else
+            usage("pcbp_trace");
+    }
+    if (!haveCritic) {
+        spec.critic.reset();
+        spec.futureBits = 0;
+    }
+
+    const Workload &w = workloadByName("trace:" + path);
+    const std::uint64_t warmup = warmupOpt.value_or(w.warmupBranches);
+    const std::uint64_t measure = measureOpt.value_or(w.simBranches);
+
+    Program program = buildProgram(w);
+    auto hybrid = spec.build();
+    std::printf("replaying %s (%" PRIu64 " branches) under %s\n",
+                path.c_str(), traceFileCount(path),
+                spec.label().c_str());
+
+    if (timing) {
+        TimingConfig cfg;
+        cfg.warmupBranches = warmup;
+        cfg.measureBranches = measure;
+        TimingSim sim(program, *hybrid, cfg);
+        TraceFileStream stream(path);
+        const TimingStats st = sim.run(stream);
+        std::printf("  committed        %" PRIu64 " branches / "
+                    "%" PRIu64 " uops\n",
+                    st.committedBranches, st.committedUops);
+        std::printf("  cycles           %" PRIu64 "\n", st.cycles);
+        std::printf("  uPC              %.3f\n", st.upc());
+        std::printf("  mispredicts      %" PRIu64 "\n",
+                    st.finalMispredicts);
+        std::printf("  stream window    %zu records peak\n",
+                    stream.windowPeak());
+    } else {
+        EngineConfig cfg;
+        cfg.warmupBranches = warmup;
+        cfg.measureBranches = measure;
+        Engine engine(program, *hybrid, cfg);
+        TraceFileStream stream(path);
+        const EngineStats st = engine.run(stream);
+        std::printf("  committed        %" PRIu64 " branches / "
+                    "%" PRIu64 " uops\n",
+                    st.committedBranches, st.committedUops);
+        std::printf("  misp rate        %.4f (%" PRIu64
+                    " mispredicts)\n",
+                    st.mispRate(), st.finalMispredicts);
+        std::printf("  misp/kuop        %.3f\n", st.mispPerKuops());
+        std::printf("  critic overrides %" PRIu64 "\n",
+                    st.criticOverrides);
+        std::printf("  stream window    %zu records peak\n",
+                    stream.windowPeak());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+    const std::string cmd = argv[1];
+    if (cmd == "record")
+        return cmdRecord(argc - 2, argv + 2);
+    if (cmd == "summarize" && argc == 3)
+        return cmdSummarize(argv[2]);
+    if (cmd == "replay" && argc >= 3)
+        return cmdReplay(argv[2], argc - 3, argv + 3);
+    usage(argv[0]);
+}
