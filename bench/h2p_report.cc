@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Hard-to-predict (H2P) branch report: the Lin & Tarsa observation —
+ * remaining misses concentrate in a few static branches — measured
+ * against this repro's predictor zoo, including the TAGE prophet.
+ *
+ * Two layers per suite (INT00 and SERV, the easy and hard ends of
+ * the registry):
+ *
+ * - an aggregate grid (declarative sweep over prophets x critic) of
+ *   mispredict rates, the usual pcbp_sweep machinery;
+ * - per-branch commit-path profiles (H2PProfiler) for every
+ *   (workload, config), summarized Bullseye-style: how many static
+ *   branches are H2P, what share of dynamic branches and of misses
+ *   they account for, and the top offender.
+ *
+ * The point of the pairing: a critic that helps a weak prophet may
+ * not help TAGE — and if it does not, this table shows whether the
+ * misses it failed to fix live in the same H2P branches.
+ */
+
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sweep/runner.hh"
+
+using namespace pcbp;
+
+namespace
+{
+
+std::vector<HybridSpec>
+contenders()
+{
+    return {
+        prophetAlone(ProphetKind::Gshare, Budget::B8KB),
+        prophetAlone(ProphetKind::Perceptron, Budget::B8KB),
+        prophetAlone(ProphetKind::Tage, Budget::B8KB),
+        hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8),
+        hybridSpec(ProphetKind::Tage, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8),
+    };
+}
+
+void
+runSuite(const std::string &suite)
+{
+    std::cout << "--- suite " << suite << " ---\n";
+
+    // Aggregate layer: one declarative grid over the suite, shared
+    // with the sweep tooling (resumable if pointed at a file store).
+    SweepSpec grid;
+    grid.name = "h2p-" + suite;
+    grid.axes.prophets = {ProphetKind::Gshare, ProphetKind::Perceptron,
+                          ProphetKind::Tage};
+    grid.axes.critics = {std::nullopt, CriticKind::TaggedGshare};
+    grid.axes.futureBits = {8};
+    grid.workloads = {suite};
+
+    ResultStore store;
+    runSweep(grid, store);
+    const auto cells = grid.cells();
+
+    TablePrinter agg({"config", "misp/Kuops", "misp rate"});
+    for (ProphetKind p : grid.axes.prophets) {
+        for (const auto &c : grid.axes.critics) {
+            const AggregateResult a =
+                aggregateCells(store, cells, [&](const SweepCell &k) {
+                    return k.spec.prophet == p && k.spec.critic == c;
+                });
+            const std::string label =
+                std::string("8KB ") + prophetKindName(p) +
+                (c ? " + 8KB " + criticKindName(*c) : "");
+            agg.addRow({label, fmtDouble(a.mispPerKuops, 3),
+                        fmtPercent(a.mispRate, 2)});
+        }
+    }
+    std::cout << agg.str() << "\n";
+
+    // Per-branch layer: profile each (workload, config) through the
+    // commit tap and summarize the miss concentration.
+    TablePrinter conc({"workload", "config", "H2P static", "exec share",
+                       "miss share", "top-miss branch", "top share"});
+    for (const Workload *w : suiteWorkloads(suite)) {
+        for (const HybridSpec &spec : contenders()) {
+            const H2PReport r = runH2P(*w, spec);
+            std::string top_pc = "-", top_share = "-";
+            if (!r.top.empty() && r.top[0].profile.finalWrong > 0) {
+                std::ostringstream os;
+                os << "0x" << std::hex << r.top[0].profile.pc;
+                top_pc = os.str();
+                top_share = fmtPercent(r.top[0].missShare, 1);
+            }
+            conc.addRow({w->name, spec.label(),
+                         std::to_string(r.h2pStatic),
+                         fmtPercent(r.h2pExecShare, 1),
+                         fmtPercent(r.h2pMissShare, 1), top_pc,
+                         top_share});
+        }
+    }
+    std::cout << conc.str() << "\n";
+
+    // The detailed top-miss table for the strongest prophet-alone
+    // config — the Bullseye targeting view.
+    const Workload *first = suiteWorkloads(suite)[0];
+    const H2PReport detail =
+        runH2P(*first, prophetAlone(ProphetKind::Tage, Budget::B8KB));
+    std::cout << detail.render() << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const H2PConfig cfg;
+    std::cout << "=== H2P branch analytics: miss concentration across "
+                 "the predictor zoo ===\n"
+              << "H2P = static branch with >= " << cfg.minExecs
+              << " execs and final accuracy < "
+              << fmtPercent(cfg.accuracyBelow, 0) << "\n\n";
+    runSuite("INT00");
+    runSuite("SERV");
+    return 0;
+}

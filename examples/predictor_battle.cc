@@ -25,15 +25,16 @@ main(int argc, char **argv)
               << w.suite << ") ===\n\n";
 
     std::vector<HybridSpec> contenders;
-    for (ProphetKind p : {ProphetKind::Bimodal, ProphetKind::Gshare,
-                          ProphetKind::TwoLevel, ProphetKind::GSkew,
-                          ProphetKind::Perceptron, ProphetKind::Yags,
-                          ProphetKind::Local, ProphetKind::Tournament,
-                          ProphetKind::SkewedPerceptron,
-                          ProphetKind::Fusion})
+    for (ProphetKind p : allProphetKinds()) {
+        // The static predictors are floors, not contenders.
+        if (p == ProphetKind::AlwaysTaken ||
+            p == ProphetKind::AlwaysNotTaken) {
+            continue;
+        }
         contenders.push_back(prophetAlone(p, Budget::B16KB));
+    }
     for (ProphetKind p : {ProphetKind::Gshare, ProphetKind::GSkew,
-                          ProphetKind::Perceptron}) {
+                          ProphetKind::Perceptron, ProphetKind::Tage}) {
         contenders.push_back(hybridSpec(p, Budget::B8KB,
                                         CriticKind::TaggedGshare,
                                         Budget::B8KB, 8));

@@ -57,13 +57,22 @@ criticKindName(CriticKind k)
     pcbp_panic("bad CriticKind");
 }
 
+const std::vector<CriticKind> &
+allCriticKinds()
+{
+    static const std::vector<CriticKind> kinds = {
+        CriticKind::TaggedGshare,
+        CriticKind::FilteredPerceptron,
+        CriticKind::UnfilteredPerceptron,
+        CriticKind::UnfilteredGshare,
+    };
+    return kinds;
+}
+
 CriticKind
 parseCriticKind(const std::string &s)
 {
-    for (CriticKind k : {CriticKind::TaggedGshare,
-                         CriticKind::FilteredPerceptron,
-                         CriticKind::UnfilteredPerceptron,
-                         CriticKind::UnfilteredGshare}) {
+    for (CriticKind k : allCriticKinds()) {
         if (criticKindName(k) == s)
             return k;
     }

@@ -8,6 +8,7 @@
 #define PCBP_CORE_PRESETS_HH
 
 #include <string>
+#include <vector>
 
 #include "core/prophet_critic.hh"
 #include "predictors/factory.hh"
@@ -23,6 +24,9 @@ enum class CriticKind
     UnfilteredPerceptron, // Figure 6(a)
     UnfilteredGshare,     // extra ablation point
 };
+
+/** Every registered critic kind, in declaration order. */
+const std::vector<CriticKind> &allCriticKinds();
 
 /** Kind as a string ("t.gshare", "f.perceptron", ...). */
 std::string criticKindName(CriticKind k);

@@ -11,6 +11,7 @@
 #include "predictors/perceptron.hh"
 #include "predictors/skewed_perceptron.hh"
 #include "predictors/static_pred.hh"
+#include "predictors/tage.hh"
 #include "predictors/tournament.hh"
 #include "predictors/two_level.hh"
 #include "predictors/yags.hh"
@@ -42,6 +43,42 @@ constexpr std::array<std::size_t, 5> gskewEntries = {
     2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024,
 };
 constexpr std::array<unsigned, 5> gskewHistory = {11, 12, 13, 14, 15};
+
+// TAGE rows (budget-matched, not from the paper): bimodal base
+// entries, tagged tables x entries, tag bits, and the geometric
+// history series per budget class.
+struct TageRow
+{
+    std::size_t baseEntries;
+    std::size_t tableEntries;
+    unsigned numTables;
+    unsigned tagBits;
+    std::array<unsigned, 6> histories; // first numTables used
+};
+
+constexpr std::array<TageRow, 5> tageRows = {{
+    {1024, 256, 4, 7, {4, 9, 20, 45, 0, 0}},       // 2KB
+    {2048, 512, 4, 8, {5, 11, 25, 56, 0, 0}},      // 4KB
+    {4096, 1024, 4, 8, {6, 14, 32, 72, 0, 0}},     // 8KB
+    {8192, 1024, 5, 10, {5, 11, 24, 52, 112, 0}},  // 16KB
+    {16384, 2048, 6, 10, {4, 9, 19, 40, 84, 128}}, // 32KB
+}};
+
+TageConfig
+tageConfigFor(Budget b)
+{
+    const TageRow &row = tageRows[static_cast<std::size_t>(b)];
+    TageConfig cfg;
+    cfg.baseEntries = row.baseEntries;
+    for (unsigned i = 0; i < row.numTables; ++i) {
+        TageTableConfig tc;
+        tc.entries = row.tableEntries;
+        tc.tagBits = row.tagBits;
+        tc.historyLength = row.histories[i];
+        cfg.tables.push_back(tc);
+    }
+    return cfg;
+}
 
 std::size_t
 budgetIndex(Budget b)
@@ -88,23 +125,32 @@ prophetKindName(ProphetKind k)
       case ProphetKind::Tournament: return "tournament";
       case ProphetKind::SkewedPerceptron: return "skewed-perceptron";
       case ProphetKind::Fusion: return "fusion";
+      case ProphetKind::Tage: return "tage";
       case ProphetKind::AlwaysTaken: return "always-taken";
       case ProphetKind::AlwaysNotTaken: return "always-not-taken";
     }
     pcbp_panic("bad ProphetKind");
 }
 
+const std::vector<ProphetKind> &
+allProphetKinds()
+{
+    static const std::vector<ProphetKind> kinds = {
+        ProphetKind::Gshare,           ProphetKind::GSkew,
+        ProphetKind::Perceptron,       ProphetKind::Bimodal,
+        ProphetKind::TwoLevel,         ProphetKind::Yags,
+        ProphetKind::Local,            ProphetKind::Tournament,
+        ProphetKind::SkewedPerceptron, ProphetKind::Fusion,
+        ProphetKind::Tage,             ProphetKind::AlwaysTaken,
+        ProphetKind::AlwaysNotTaken,
+    };
+    return kinds;
+}
+
 ProphetKind
 parseProphetKind(const std::string &s)
 {
-    for (ProphetKind k : {ProphetKind::Gshare, ProphetKind::GSkew,
-                          ProphetKind::Perceptron, ProphetKind::Bimodal,
-                          ProphetKind::TwoLevel, ProphetKind::Yags,
-                          ProphetKind::Local, ProphetKind::Tournament,
-                          ProphetKind::SkewedPerceptron,
-                          ProphetKind::Fusion,
-                          ProphetKind::AlwaysTaken,
-                          ProphetKind::AlwaysNotTaken}) {
+    for (ProphetKind k : allProphetKinds()) {
         if (prophetKindName(k) == s)
             return k;
     }
@@ -185,6 +231,8 @@ makeProphet(ProphetKind kind, Budget b)
             bytes, std::min<unsigned>(log2Floor(bytes), 17)));
         return std::make_unique<FusionHybrid>(std::move(comps), bytes);
       }
+      case ProphetKind::Tage:
+        return std::make_unique<Tage>(tageConfigFor(b));
       case ProphetKind::AlwaysTaken:
         return std::make_unique<StaticPredictor>(true);
       case ProphetKind::AlwaysNotTaken:

@@ -8,6 +8,7 @@
 #define PCBP_PREDICTORS_FACTORY_HH
 
 #include <string>
+#include <vector>
 
 #include "predictors/predictor.hh"
 
@@ -39,9 +40,16 @@ enum class ProphetKind
     Tournament,
     SkewedPerceptron, // Seznec redundant-history (paper Sec. 9)
     Fusion,           // Loh-Henry fusion hybrid (paper Sec. 2)
+    Tage,             // geometric-history tagged tables (post-paper)
     AlwaysTaken,
     AlwaysNotTaken,
 };
+
+/**
+ * Every registered prophet kind, in declaration order — the registry
+ * the differential tests and zoo examples iterate.
+ */
+const std::vector<ProphetKind> &allProphetKinds();
 
 /** Kind as a string ("gshare", "2Bc-gskew", "perceptron", ...). */
 std::string prophetKindName(ProphetKind k);

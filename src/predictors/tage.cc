@@ -1,0 +1,218 @@
+#include "predictors/tage.hh"
+
+#include "common/bit_utils.hh"
+#include "common/logging.hh"
+
+namespace pcbp
+{
+
+Tage::Tage(const TageConfig &config)
+    : cfg(config), baseIndexBits(log2Floor(config.baseEntries))
+{
+    pcbp_assert(isPowerOfTwo(cfg.baseEntries),
+                "tage base size must be 2^n");
+    pcbp_assert(!cfg.tables.empty(), "tage needs tagged tables");
+    pcbp_assert(cfg.counterBits >= 2 && cfg.usefulBits >= 1);
+
+    base.assign(cfg.baseEntries, SatCounter(2, 1));
+
+    unsigned prev_hist = 0;
+    for (const TageTableConfig &tc : cfg.tables) {
+        pcbp_assert(isPowerOfTwo(tc.entries),
+                    "tage table size must be 2^n");
+        pcbp_assert(tc.historyLength > prev_hist,
+                    "tage histories must strictly increase");
+        pcbp_assert(tc.historyLength <= HistoryRegister::capacity);
+        pcbp_assert(tc.tagBits >= 4 && tc.tagBits <= 16);
+        prev_hist = tc.historyLength;
+
+        Table t;
+        t.cfg = tc;
+        t.indexBits = log2Floor(tc.entries);
+        Entry e;
+        e.ctr = SatCounter(cfg.counterBits,
+                           (1u << (cfg.counterBits - 1)) - 1);
+        e.useful = SatCounter(cfg.usefulBits, 0);
+        t.rows.assign(tc.entries, e);
+        tables.push_back(std::move(t));
+    }
+    maxHistory = cfg.tables.back().historyLength;
+}
+
+std::size_t
+Tage::baseIndex(Addr pc) const
+{
+    return foldBits(pc >> 2, baseIndexBits) & maskBits(baseIndexBits);
+}
+
+std::size_t
+Tage::tableIndex(const Table &t, Addr pc,
+                 const HistoryRegister &hist) const
+{
+    // Decorrelate banks by mixing the table's history length into the
+    // address hash; the folded history does the rest.
+    const std::uint64_t addr =
+        foldBits(mix64(pc >> 2) ^ (t.cfg.historyLength * 0x9e3779b9ull),
+                 t.indexBits);
+    const std::uint64_t h =
+        hist.foldedLow(t.cfg.historyLength, t.indexBits);
+    return (addr ^ h) & maskBits(t.indexBits);
+}
+
+std::uint32_t
+Tage::tableTag(const Table &t, Addr pc, const HistoryRegister &hist) const
+{
+    // Two different-width folds of the same history decorrelate the
+    // tag from the index (Seznec's CSR1/CSR2 pair).
+    const unsigned bits = t.cfg.tagBits;
+    std::uint64_t tag = foldBits(mix64(pc >> 2), bits);
+    tag ^= hist.foldedLow(t.cfg.historyLength, bits);
+    tag ^= hist.foldedLow(t.cfg.historyLength, bits - 1) << 1;
+    return static_cast<std::uint32_t>(tag & maskBits(bits));
+}
+
+Tage::Match
+Tage::lookup(Addr pc, const HistoryRegister &hist) const
+{
+    Match m;
+    m.alternatePred = base[baseIndex(pc)].taken();
+    m.providerPred = m.alternatePred;
+    for (int i = int(tables.size()) - 1; i >= 0; --i) {
+        const Table &t = tables[i];
+        const Entry &e = t.rows[tableIndex(t, pc, hist)];
+        if (e.tag != tableTag(t, pc, hist))
+            continue;
+        if (m.provider < 0) {
+            m.provider = i;
+            m.providerPred = e.ctr.taken();
+            // "Newly allocated" signature: weak counter, no proven
+            // usefulness yet.
+            const unsigned mid = e.ctr.maxValue() / 2;
+            m.providerWeak = e.useful.value() == 0 &&
+                             (e.ctr.value() == mid ||
+                              e.ctr.value() == mid + 1);
+        } else {
+            m.alternate = i;
+            m.alternatePred = e.ctr.taken();
+            break;
+        }
+    }
+    m.prediction = (m.provider >= 0 && m.providerWeak &&
+                    useAltOnWeak.taken())
+                       ? m.alternatePred
+                       : m.providerPred;
+    return m;
+}
+
+bool
+Tage::predict(Addr pc, const HistoryRegister &hist)
+{
+    return lookup(pc, hist).prediction;
+}
+
+void
+Tage::update(Addr pc, const HistoryRegister &hist, bool taken)
+{
+    const Match m = lookup(pc, hist);
+
+    if (m.provider >= 0) {
+        Table &t = tables[m.provider];
+        Entry &e = t.rows[tableIndex(t, pc, hist)];
+
+        // Track whether the alternate would have done better on weak
+        // providers (drives the use-alt-on-weak policy).
+        if (m.providerWeak && m.providerPred != m.alternatePred)
+            useAltOnWeak.update(m.alternatePred == taken);
+
+        // Usefulness rewards the provider only where it beats the
+        // alternate; a provider the alternate matches is replaceable.
+        if (m.providerPred != m.alternatePred)
+            e.useful.update(m.providerPred == taken);
+
+        e.ctr.update(taken);
+
+        // The base keeps learning when it was (or backs) the
+        // alternate, so freshly allocated entries fall back well.
+        if (m.alternate < 0)
+            base[baseIndex(pc)].update(taken);
+    } else {
+        base[baseIndex(pc)].update(taken);
+    }
+
+    // Allocate into a longer-history table when the final prediction
+    // missed: first not-useful entry wins; if every candidate is
+    // useful, decay them all so the next miss can allocate (Seznec).
+    if (m.prediction != taken &&
+        m.provider + 1 < int(tables.size())) {
+        bool allocated = false;
+        for (std::size_t i = std::size_t(m.provider + 1);
+             i < tables.size(); ++i) {
+            Table &t = tables[i];
+            Entry &e = t.rows[tableIndex(t, pc, hist)];
+            if (e.useful.value() != 0)
+                continue;
+            e.tag = tableTag(t, pc, hist);
+            e.ctr.setWeak(taken);
+            e.useful.set(0);
+            allocated = true;
+            break;
+        }
+        if (!allocated) {
+            for (std::size_t i = std::size_t(m.provider + 1);
+                 i < tables.size(); ++i) {
+                Table &t = tables[i];
+                t.rows[tableIndex(t, pc, hist)].useful.decrement();
+            }
+        }
+    }
+
+    ++updates;
+    agePeriodically();
+}
+
+void
+Tage::agePeriodically()
+{
+    if (cfg.usefulResetPeriod == 0 ||
+        updates % cfg.usefulResetPeriod != 0) {
+        return;
+    }
+    for (Table &t : tables)
+        for (Entry &e : t.rows)
+            e.useful.set(e.useful.value() >> 1);
+}
+
+void
+Tage::reset()
+{
+    for (auto &c : base)
+        c.set(1);
+    for (Table &t : tables) {
+        for (Entry &e : t.rows) {
+            e.ctr.set((1u << (cfg.counterBits - 1)) - 1);
+            e.tag = 0;
+            e.useful.set(0);
+        }
+    }
+    useAltOnWeak.set(8);
+    updates = 0;
+}
+
+std::size_t
+Tage::sizeBits() const
+{
+    std::size_t bits = base.size() * 2;
+    for (const Table &t : tables)
+        bits += t.rows.size() *
+                (cfg.counterBits + cfg.usefulBits + t.cfg.tagBits);
+    return bits;
+}
+
+std::string
+Tage::name() const
+{
+    return "tage" + std::to_string(tables.size()) + "-" +
+           std::to_string(sizeBytes() / 1024) + "KB";
+}
+
+} // namespace pcbp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * TAGE predictor (Seznec & Michaud, "A case for (partially) TAgged
+ * GEometric history length branch predictors", JILP 2006): a bimodal
+ * base predictor backed by several partially-tagged tables indexed
+ * with geometrically increasing global history lengths.
+ *
+ * Prediction comes from the *provider* — the longest-history table
+ * whose tag matches — with the next matching table (or the base) as
+ * the *alternate*. Each tagged entry carries a signed prediction
+ * counter, a tag, and a usefulness counter; allocation on a
+ * mispredict claims a not-useful entry in a longer-history table,
+ * and the usefulness counters age away periodically so the tables
+ * keep adapting across program phases.
+ *
+ * This is the repro's "modern baseline" prophet ("Branch Prediction
+ * Is Not a Solved Problem" measures H2P misses against exactly this
+ * class of predictor); it plugs into the factory/budget machinery
+ * like every other DirectionPredictor and can serve as the prophet
+ * inside the prophet/critic hybrid unchanged.
+ */
+
+#ifndef PCBP_PREDICTORS_TAGE_HH
+#define PCBP_PREDICTORS_TAGE_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictors/predictor.hh"
+
+namespace pcbp
+{
+
+/** One tagged component table's geometry. */
+struct TageTableConfig
+{
+    std::size_t entries = 1024; //!< power of two
+    unsigned tagBits = 8;
+    unsigned historyLength = 8; //!< global history bits folded in
+};
+
+/** Whole-predictor geometry. */
+struct TageConfig
+{
+    /** Bimodal base table entries (2-bit counters); power of two. */
+    std::size_t baseEntries = 4096;
+
+    /** Tagged tables, shortest history first (strictly increasing). */
+    std::vector<TageTableConfig> tables;
+
+    /** Width of the tagged-entry prediction counters. */
+    unsigned counterBits = 3;
+
+    /** Width of the per-entry usefulness counters. */
+    unsigned usefulBits = 2;
+
+    /**
+     * Updates between usefulness-aging events; every period the
+     * usefulness counters are halved so stale entries become
+     * reclaimable. 0 disables aging.
+     */
+    std::uint64_t usefulResetPeriod = 1u << 18;
+};
+
+class Tage : public DirectionPredictor
+{
+  public:
+    explicit Tage(const TageConfig &config);
+
+    bool predict(Addr pc, const HistoryRegister &hist) override;
+    void update(Addr pc, const HistoryRegister &hist, bool taken) override;
+    void reset() override;
+    std::size_t sizeBits() const override;
+    unsigned historyLength() const override { return maxHistory; }
+    std::string name() const override;
+
+    /** Number of tagged component tables (tests/reporting). */
+    std::size_t numTables() const { return tables.size(); }
+
+  private:
+    struct Entry
+    {
+        SatCounter ctr;    //!< prediction counter
+        std::uint32_t tag = 0;
+        SatCounter useful; //!< usefulness (replacement victim filter)
+    };
+
+    struct Table
+    {
+        TageTableConfig cfg;
+        unsigned indexBits = 0;
+        std::vector<Entry> rows;
+    };
+
+    /** Provider/alternate lookup shared by predict() and update(). */
+    struct Match
+    {
+        int provider = -1;  //!< table index, -1 = base
+        int alternate = -1; //!< next-longest hit, -1 = base
+        bool providerPred = false;
+        bool alternatePred = false;
+        bool prediction = false; //!< final (after use-alt-on-weak)
+        /** Provider entry looked weakly/newly allocated. */
+        bool providerWeak = false;
+    };
+
+    std::size_t baseIndex(Addr pc) const;
+    std::size_t tableIndex(const Table &t, Addr pc,
+                           const HistoryRegister &hist) const;
+    std::uint32_t tableTag(const Table &t, Addr pc,
+                           const HistoryRegister &hist) const;
+    Match lookup(Addr pc, const HistoryRegister &hist) const;
+    void agePeriodically();
+
+    std::vector<SatCounter> base;
+    std::vector<Table> tables;
+    TageConfig cfg;
+    unsigned baseIndexBits;
+    unsigned maxHistory = 0;
+
+    /**
+     * USE_ALT_ON_NA (Seznec): when newly-allocated provider entries
+     * have been less accurate than the alternate lately, trust the
+     * alternate for weak providers. Single global 4-bit counter.
+     */
+    SatCounter useAltOnWeak{4, 8};
+
+    std::uint64_t updates = 0;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_PREDICTORS_TAGE_HH

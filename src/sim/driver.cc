@@ -107,6 +107,29 @@ runAccuracy(const Workload &w, const HybridSpec &spec,
     return engine.run();
 }
 
+H2PReport
+runH2P(const Workload &w, const HybridSpec &spec,
+       const EngineConfig &config, const H2PConfig &h2p)
+{
+    pcbp_assert(config.commitSink == nullptr,
+                "runH2P owns the commit tap; profile through your own "
+                "sink instead of passing one here");
+    H2PProfiler profiler(config.warmupBranches);
+    EngineConfig cfg = config;
+    cfg.commitSink = &profiler;
+    runAccuracy(w, spec, cfg);
+    H2PReport report = profiler.report(h2p);
+    report.workload = w.name;
+    report.config = spec.label();
+    return report;
+}
+
+H2PReport
+runH2P(const Workload &w, const HybridSpec &spec, const H2PConfig &h2p)
+{
+    return runH2P(w, spec, engineConfigFor(w), h2p);
+}
+
 std::vector<EngineStats>
 runSet(const std::vector<const Workload *> &set, const HybridSpec &spec)
 {

@@ -69,6 +69,18 @@ EngineStats runAccuracy(const Workload &w, const HybridSpec &spec,
                         const EngineConfig &config);
 
 /**
+ * Run one workload with per-branch H2P profiling tapped into the
+ * commit path (warmup commits excluded) and return the ranked
+ * report, labeled with the workload and spec.
+ */
+H2PReport runH2P(const Workload &w, const HybridSpec &spec,
+                 const EngineConfig &config, const H2PConfig &h2p = {});
+
+/** runH2P with the workload's default engine configuration. */
+H2PReport runH2P(const Workload &w, const HybridSpec &spec,
+                 const H2PConfig &h2p = {});
+
+/**
  * Run a workload set under one spec, in parallel across workloads,
  * and return per-workload stats in set order.
  */

@@ -18,6 +18,7 @@ coreConfig(const EngineConfig &cfg)
     c.btbEntries = cfg.btbEntries;
     c.btbWays = cfg.btbWays;
     c.oracleFutureBits = cfg.oracleFutureBits;
+    c.commitSink = cfg.commitSink;
     return c;
 }
 

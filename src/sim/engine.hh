@@ -62,6 +62,13 @@ struct EngineConfig
     /** Collect per-static-branch statistics (trace explorer). */
     bool collectPerBranch = false;
 
+    /**
+     * Optional commit-path tap (H2P analytics, differential tests):
+     * receives every committed branch in commit order, warmup
+     * included. Not owned; must outlive the engine.
+     */
+    CommitSink *commitSink = nullptr;
+
     /** Committed branches measured (after warmup). */
     std::uint64_t measureBranches = 250000;
 

@@ -151,6 +151,20 @@ SpecCore<Payload>::commitTrain(const Record &r, bool outcome)
     hybrid.commitBranch(r.pc, r.ctx, r.decision, outcome);
     if (cfg.useBtb && !r.btbHit)
         btb.allocate(r.pc);
+    if (cfg.commitSink) {
+        CommitEvent e;
+        e.index = r.traceIdx;
+        e.block = r.block;
+        e.pc = r.pc;
+        e.numUops = r.numUops;
+        e.btbHit = r.btbHit;
+        e.prophetPred = r.prophetPred;
+        e.finalPred = r.finalPred;
+        e.critiqueProvided = r.decision && r.decision->provided;
+        e.criticOverrode = r.decision && r.decision->overrode;
+        e.outcome = outcome;
+        cfg.commitSink->onCommit(e);
+    }
 }
 
 template <typename Payload>

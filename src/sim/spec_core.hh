@@ -80,6 +80,42 @@ struct FtqPayload
     Cycle fetchCycle = 0;       //!< cycle the prophet produced it
 };
 
+/**
+ * One committed branch, as observed at the commit-train point — the
+ * shared tap both simulators feed. Everything downstream of commit
+ * (H2P analytics, differential tests) consumes these events instead
+ * of poking simulator internals.
+ */
+struct CommitEvent
+{
+    /** Commit-order position (== the committed stream index). */
+    std::uint64_t index = 0;
+    BlockId block = invalidBlock;
+    Addr pc = 0;
+    std::uint32_t numUops = 0;
+    bool btbHit = true;
+    /** The prophet's prediction (false on a BTB miss: fall-through). */
+    bool prophetPred = false;
+    /** Final prediction after any critique. */
+    bool finalPred = false;
+    /** The critic provided an explicit critique for this branch. */
+    bool critiqueProvided = false;
+    /** The critique overrode the prophet. */
+    bool criticOverrode = false;
+    /** Architectural outcome. */
+    bool outcome = false;
+};
+
+/** Receiver of commit events (per-branch analytics, test probes). */
+class CommitSink
+{
+  public:
+    virtual ~CommitSink() = default;
+
+    /** Called once per committed branch, in commit order. */
+    virtual void onCommit(const CommitEvent &e) = 0;
+};
+
 /** Spec-core configuration (the sim-config subset it implements). */
 struct SpecCoreConfig
 {
@@ -94,6 +130,13 @@ struct SpecCoreConfig
      * predictions. Requires an oracle stream in beginRun().
      */
     bool oracleFutureBits = false;
+
+    /**
+     * Optional tap on the commit path: commitTrain() reports every
+     * committed branch here, in commit order. Not owned; must
+     * outlive the core. Null = no reporting.
+     */
+    CommitSink *commitSink = nullptr;
 };
 
 /** What one critique did, for the caller's stats/timing policy. */

@@ -15,6 +15,7 @@ coreConfig(const TimingConfig &cfg)
     c.useBtb = cfg.useBtb;
     c.btbEntries = cfg.btbEntries;
     c.btbWays = cfg.btbWays;
+    c.commitSink = cfg.commitSink;
     return c;
 }
 

@@ -68,6 +68,13 @@ struct TimingConfig
     std::size_t btbEntries = 4096;
     unsigned btbWays = 4;
 
+    /**
+     * Optional commit-path tap (H2P analytics, differential tests):
+     * receives every committed branch in commit order, warmup
+     * included. Not owned; must outlive the simulator.
+     */
+    CommitSink *commitSink = nullptr;
+
     std::uint64_t measureBranches = 100000;
     std::uint64_t warmupBranches = 10000;
 };

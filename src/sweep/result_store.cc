@@ -260,26 +260,52 @@ CellResult::tryFromJson(const std::string &line, CellResult &r)
 
 ResultStore::ResultStore(std::string path) : filePath(std::move(path))
 {
-    std::vector<std::string> lines;
+    std::string content;
     {
-        std::ifstream in(filePath);
+        std::ifstream in(filePath, std::ios::binary);
         if (!in)
             return; // first run: file appears on the first put()
-        std::string line;
-        while (std::getline(in, line))
-            lines.push_back(std::move(line));
+        std::ostringstream os;
+        os << in.rdbuf();
+        content = os.str();
     }
+    if (content.empty())
+        return;
+
+    // Every line put() writes is newline-terminated, so bytes after
+    // the last newline are an interrupted append — even when they
+    // happen to parse (a write torn exactly at the newline): keeping
+    // such a line would make the next append concatenate onto it and
+    // merge two records into one corrupt line.
+    const bool terminated = content.back() == '\n';
+
+    std::vector<std::string> lines;
+    std::size_t at = 0;
+    while (at < content.size()) {
+        const std::size_t nl = content.find('\n', at);
+        if (nl == std::string::npos) {
+            lines.push_back(content.substr(at));
+            break;
+        }
+        lines.push_back(content.substr(at, nl - at));
+        at = nl + 1;
+    }
+
     std::uint64_t valid_bytes = 0;
     for (std::size_t i = 0; i < lines.size(); ++i) {
         const std::string &line = lines[i];
+        const bool last = i + 1 == lines.size();
         CellResult r;
-        if (!line.empty() && !CellResult::tryFromJson(line, r)) {
+        const bool torn =
+            (last && !terminated) ||
+            (!line.empty() && !CellResult::tryFromJson(line, r));
+        if (torn) {
             // A torn final line is what a kill mid-append leaves
             // behind; drop it (and truncate, so the next append
             // doesn't concatenate onto the torn bytes) and the cell
             // simply reruns. Torn bytes followed by further valid
             // lines mean real corruption — refuse to guess.
-            if (i + 1 != lines.size())
+            if (!last)
                 pcbp_fatal("result store ", filePath, ":", i + 1,
                            ": malformed line: ", line);
             pcbp_warn("result store ", filePath,

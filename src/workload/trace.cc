@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <set>
 
 #include "common/logging.hh"
@@ -57,29 +58,68 @@ decodeRecord(const unsigned char *in)
 } // namespace tracefmt
 
 std::FILE *
-openTraceFile(const std::string &path, std::uint64_t &count)
+tryOpenTraceFile(const std::string &path, std::uint64_t &count,
+                 std::string &error)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        pcbp_fatal("cannot open '", path, "' for reading");
+    if (!f) {
+        error = "cannot open '" + path + "' for reading";
+        return nullptr;
+    }
     unsigned char header[tracefmt::headerBytes];
-    if (std::fread(header, 1, sizeof(header), f) != sizeof(header) ||
-        std::memcmp(header, tracefmt::magic, 8) != 0) {
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
         std::fclose(f);
-        pcbp_fatal("'", path, "' is not a pcbp trace");
+        error = "'" + path + "' is shorter than a trace header";
+        return nullptr;
+    }
+    if (std::memcmp(header, tracefmt::magic, 8) != 0) {
+        std::fclose(f);
+        error = "'" + path + "' is not a pcbp trace (bad magic)";
+        return nullptr;
     }
     count = 0;
     for (int i = 7; i >= 0; --i)
         count = (count << 8) | header[8 + i];
+
+    // Validate the header count against the bytes actually present,
+    // so a corrupted count is an immediate, precise error instead of
+    // a surprise mid-scan. filesystem::file_size (not ftell, whose
+    // long return truncates >2GiB traces on 32-bit-long platforms).
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path, ec);
+    const std::uint64_t body =
+        ec || size < tracefmt::headerBytes
+            ? 0
+            : std::uint64_t(size) - tracefmt::headerBytes;
+    if (body / tracefmt::recordBytes < count) {
+        std::fclose(f);
+        error = "'" + path + "' is truncated: header promises " +
+                std::to_string(count) + " records, file holds " +
+                std::to_string(body / tracefmt::recordBytes);
+        return nullptr;
+    }
     return f;
 }
 
-void
-scanTraceFile(const std::string &path,
-              const std::function<void(const CommittedBranch &)> &fn)
+std::FILE *
+openTraceFile(const std::string &path, std::uint64_t &count)
+{
+    std::string error;
+    std::FILE *f = tryOpenTraceFile(path, count, error);
+    if (!f)
+        pcbp_fatal(error);
+    return f;
+}
+
+bool
+tryScanTraceFile(const std::string &path,
+                 const std::function<void(const CommittedBranch &)> &fn,
+                 std::string &error)
 {
     std::uint64_t n = 0;
-    std::FILE *f = openTraceFile(path, n);
+    std::FILE *f = tryOpenTraceFile(path, n, error);
+    if (!f)
+        return false;
 
     constexpr std::size_t chunkRecords = 4096;
     std::vector<unsigned char> buf(chunkRecords * tracefmt::recordBytes);
@@ -90,7 +130,8 @@ scanTraceFile(const std::string &path,
         if (std::fread(buf.data(), tracefmt::recordBytes, want, f) !=
             want) {
             std::fclose(f);
-            pcbp_fatal("trace file truncated");
+            error = "trace file '" + path + "' truncated mid-scan";
+            return false;
         }
         for (std::size_t i = 0; i < want; ++i) {
             fn(tracefmt::decodeRecord(buf.data() +
@@ -99,6 +140,16 @@ scanTraceFile(const std::string &path,
         remaining -= want;
     }
     std::fclose(f);
+    return true;
+}
+
+void
+scanTraceFile(const std::string &path,
+              const std::function<void(const CommittedBranch &)> &fn)
+{
+    std::string error;
+    if (!tryScanTraceFile(path, fn, error))
+        pcbp_fatal(error);
 }
 
 TraceWriter::TraceWriter(const std::string &path_) : path(path_)

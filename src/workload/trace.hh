@@ -59,12 +59,34 @@ CommittedBranch decodeRecord(const unsigned char *in);
 std::FILE *openTraceFile(const std::string &path, std::uint64_t &count);
 
 /**
+ * Non-fatal openTraceFile: nullptr on an unreadable, short, or
+ * wrong-magic file, with a description in @p error. The header's
+ * record count is additionally checked against the file's actual
+ * size, so a corrupted count (bit flip, torn write) is rejected here
+ * instead of surfacing as a read error mid-scan.
+ */
+std::FILE *tryOpenTraceFile(const std::string &path,
+                            std::uint64_t &count, std::string &error);
+
+/**
  * One chunked pass over every record of a trace file, in order —
  * the shared reader under summaries and CFG reconstruction
  * (O(chunk) memory; fatal on truncation).
  */
 void scanTraceFile(const std::string &path,
                    const std::function<void(const CommittedBranch &)> &fn);
+
+/**
+ * Non-fatal scanTraceFile: false (with @p error filled) on
+ * unreadable, corrupt-magic, or truncated files, without invoking
+ * @p fn past the corruption. The fuzz/property tests drive random
+ * garbage through this entry point; CLI paths keep the fatal
+ * wrapper.
+ */
+bool tryScanTraceFile(
+    const std::string &path,
+    const std::function<void(const CommittedBranch &)> &fn,
+    std::string &error);
 
 /**
  * Streaming trace writer: append records one at a time (buffered,

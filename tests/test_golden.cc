@@ -8,6 +8,10 @@
  * be regenerated.
  */
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "sim/driver.hh"
@@ -16,6 +20,30 @@ namespace pcbp
 {
 namespace
 {
+
+/**
+ * Compare @p rendered against the committed golden file @p stem in
+ * tests/golden/. Regenerate with PCBP_UPDATE_GOLDEN=1 (then review
+ * the diff and commit it).
+ */
+void
+expectMatchesGolden(const std::string &rendered, const char *stem)
+{
+    const std::string path =
+        std::string(PCBP_TEST_GOLDEN_DIR) + "/" + stem;
+    if (std::getenv("PCBP_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << rendered;
+        GTEST_SKIP() << "golden updated: " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden " << path
+                    << " (run with PCBP_UPDATE_GOLDEN=1 to create)";
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_EQ(rendered, os.str()) << "golden drift in " << stem;
+}
 
 TEST(Golden, AccuracyEngineHybridOnMmMpeg)
 {
@@ -45,6 +73,66 @@ TEST(Golden, AccuracyEngineProphetAloneOnFpSwim)
     EXPECT_EQ(st.finalMispredicts, 640u);
     EXPECT_EQ(st.committedUops, 273827u);
     EXPECT_EQ(st.btbMisses, 61u);
+}
+
+TEST(Golden, TageProphetAloneOnIntCrafty)
+{
+    const Workload &w = workloadByName("int.crafty");
+    EngineConfig cfg;
+    cfg.measureBranches = 20000;
+    cfg.warmupBranches = 2000;
+    const EngineStats st = runAccuracy(
+        w, prophetAlone(ProphetKind::Tage, Budget::B8KB), cfg);
+    EXPECT_EQ(st.finalMispredicts, 2130u);
+    EXPECT_EQ(st.committedUops, 277394u);
+    EXPECT_EQ(st.prophetMispredicts, 1713u);
+    EXPECT_EQ(st.btbMisses, 628u);
+}
+
+TEST(Golden, TageAsProphetInHybridOnServTpcc)
+{
+    const Workload &w = workloadByName("serv.tpcc");
+    EngineConfig cfg;
+    cfg.measureBranches = 20000;
+    cfg.warmupBranches = 2000;
+    const EngineStats st = runAccuracy(
+        w,
+        hybridSpec(ProphetKind::Tage, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8),
+        cfg);
+    EXPECT_EQ(st.finalMispredicts, 2816u);
+    EXPECT_EQ(st.committedUops, 274397u);
+    EXPECT_EQ(st.criticOverrides, 1003u);
+    EXPECT_EQ(st.critiques.get(CritiqueClass::CorrectAgree), 2107u);
+}
+
+TEST(Golden, H2PReportOnIntCraftyUnderTage)
+{
+    const Workload &w = workloadByName("int.crafty");
+    EngineConfig cfg;
+    cfg.measureBranches = 20000;
+    cfg.warmupBranches = 2000;
+    H2PConfig hcfg;
+    hcfg.topN = 8;
+    const H2PReport r = runH2P(
+        w, prophetAlone(ProphetKind::Tage, Budget::B8KB), cfg, hcfg);
+    expectMatchesGolden(r.render(), "h2p_int_crafty_tage.txt");
+}
+
+TEST(Golden, H2PReportOnServTpccUnderHybrid)
+{
+    const Workload &w = workloadByName("serv.tpcc");
+    EngineConfig cfg;
+    cfg.measureBranches = 20000;
+    cfg.warmupBranches = 2000;
+    H2PConfig hcfg;
+    hcfg.topN = 8;
+    const H2PReport r = runH2P(
+        w,
+        hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8),
+        cfg, hcfg);
+    expectMatchesGolden(r.render(), "h2p_serv_tpcc_hybrid.txt");
 }
 
 TEST(Golden, TimingModelHybridOnWebJbb)

@@ -15,6 +15,7 @@
 #include "predictors/local_predictor.hh"
 #include "predictors/perceptron.hh"
 #include "predictors/static_pred.hh"
+#include "predictors/tage.hh"
 #include "predictors/tournament.hh"
 #include "predictors/two_level.hh"
 #include "predictors/yags.hh"
@@ -376,6 +377,138 @@ TEST(Factory, KindRoundTrip)
     for (ProphetKind k : {ProphetKind::Gshare, ProphetKind::GSkew,
                           ProphetKind::Perceptron, ProphetKind::Yags})
         EXPECT_EQ(parseProphetKind(prophetKindName(k)), k);
+}
+
+// ------------------------------------------------------------------- TAGE
+
+TageConfig
+tageConfigSmall()
+{
+    TageConfig cfg;
+    cfg.baseEntries = 1024;
+    for (unsigned i = 0; i < 4; ++i) {
+        TageTableConfig tc;
+        tc.entries = 512;
+        tc.tagBits = 8;
+        tc.historyLength = 4u << i; // 4, 8, 16, 32
+        cfg.tables.push_back(tc);
+    }
+    return cfg;
+}
+
+TEST(Tage, LearnsBias)
+{
+    Tage t(tageConfigSmall());
+    const double acc = trainAndMeasure(
+        t, [](int i, const HistoryRegister &) { return i % 10 != 0; });
+    EXPECT_GT(acc, 0.85);
+}
+
+TEST(Tage, LearnsShortPattern)
+{
+    Tage t(tageConfigSmall());
+    const double acc = trainAndMeasure(
+        t, [](int i, const HistoryRegister &) { return i % 2 == 0; });
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Tage, LearnsDeepHistoryBeyondGshareReach)
+{
+    // 16-taken/16-not-taken blocks: every 15-bit window inside a run
+    // is saturated (all-T or all-N), so the 8KB gshare cannot see
+    // the upcoming transition and drops ~2-4 predictions per period;
+    // TAGE's longer geometric tables disambiguate the run position
+    // completely.
+    auto runs = [](int i, const HistoryRegister &) {
+        return (i / 16) % 2 == 0;
+    };
+    auto tage = makeProphet(ProphetKind::Tage, Budget::B8KB);
+    const double tage_acc = trainAndMeasure(*tage, runs, 4000, 4000);
+    EXPECT_GT(tage_acc, 0.99);
+
+    auto gshare = makeProphet(ProphetKind::Gshare, Budget::B8KB);
+    const double gshare_acc = trainAndMeasure(*gshare, runs, 4000, 4000);
+    EXPECT_GT(tage_acc, gshare_acc + 0.05)
+        << "the geometric tables must buy real deep-history reach";
+}
+
+TEST(Tage, SizeBitsMatchesGeometry)
+{
+    TageConfig cfg;
+    cfg.baseEntries = 1024;
+    for (unsigned i = 0; i < 3; ++i) {
+        TageTableConfig tc;
+        tc.entries = 256;
+        tc.tagBits = 8;
+        tc.historyLength = 5 * (i + 1);
+        cfg.tables.push_back(tc);
+    }
+    const Tage t(cfg);
+    // base 1024*2 + 3 tables of 256*(3 ctr + 2 useful + 8 tag).
+    EXPECT_EQ(t.sizeBits(), 1024u * 2 + 3u * 256 * 13);
+    EXPECT_EQ(t.historyLength(), 15u);
+    EXPECT_EQ(t.numTables(), 3u);
+}
+
+TEST(Tage, FactoryBudgetsFitAndGrow)
+{
+    std::size_t prev = 0;
+    for (Budget b : {Budget::B2KB, Budget::B4KB, Budget::B8KB,
+                     Budget::B16KB, Budget::B32KB}) {
+        auto t = makeProphet(ProphetKind::Tage, b);
+        EXPECT_LE(t->sizeBytes(), budgetBytes(b))
+            << budgetName(b) << " config over budget";
+        EXPECT_GT(t->sizeBits(), prev) << "budgets must grow";
+        prev = t->sizeBits();
+        EXPECT_LE(t->historyLength(), HistoryRegister::capacity);
+    }
+}
+
+TEST(Tage, UsefulnessAgingKeepsAllocatorAlive)
+{
+    // A tiny TAGE with aggressive aging must keep adapting across a
+    // behavior change (entries allocated for phase A age out and get
+    // reclaimed for phase B).
+    TageConfig cfg;
+    cfg.baseEntries = 256;
+    for (unsigned i = 0; i < 3; ++i) {
+        TageTableConfig tc;
+        tc.entries = 128;
+        tc.tagBits = 8;
+        tc.historyLength = 4 << i;
+        cfg.tables.push_back(tc);
+    }
+    cfg.usefulResetPeriod = 512;
+    Tage t(cfg);
+    HistoryRegister h;
+    // Phase A: alternation keyed off history.
+    for (int i = 0; i < 3000; ++i) {
+        const bool outcome = i % 2 == 0;
+        t.update(0x2000, h, outcome);
+        h.shiftIn(outcome);
+    }
+    // Phase B: period-3 pattern; must relearn to high accuracy.
+    int correct = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool outcome = i % 3 == 0;
+        if (i >= 2000 && t.predict(0x2000, h) == outcome)
+            ++correct;
+        t.update(0x2000, h, outcome);
+        h.shiftIn(outcome);
+    }
+    EXPECT_GT(double(correct) / 2000, 0.9);
+}
+
+TEST(Tage, RegisteredInFactoryAndRegistry)
+{
+    EXPECT_EQ(parseProphetKind("tage"), ProphetKind::Tage);
+    EXPECT_EQ(prophetKindName(ProphetKind::Tage), "tage");
+    bool found = false;
+    for (ProphetKind k : allProphetKinds())
+        found |= k == ProphetKind::Tage;
+    EXPECT_TRUE(found);
+    auto p = makeProphet("tage:16KB");
+    EXPECT_EQ(p->name().rfind("tage", 0), 0u);
 }
 
 // ----------------------------------------------------- update determinism

@@ -46,7 +46,7 @@ TEST(RobustnessDeath, FusionNeedsComponents)
 
 TEST(RobustnessDeath, UnknownSpecStringsAreFatal)
 {
-    EXPECT_DEATH(makeProphet("tage:8KB"), "unknown predictor kind");
+    EXPECT_DEATH(makeProphet("ittage:8KB"), "unknown predictor kind");
     EXPECT_DEATH(makeProphet("gshare:7KB"), "unknown budget");
     EXPECT_DEATH(parseCriticKind("oracle"), "unknown critic kind");
     EXPECT_DEATH(workloadByName("spec2006.gcc"), "unknown workload");

@@ -232,6 +232,15 @@ sampleResult(const char *key)
     return r;
 }
 
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
 TEST(ResultStore, JsonRoundTrips)
 {
     const CellResult r = sampleResult("w=x;p=y");
@@ -292,6 +301,51 @@ TEST(ResultStore, TornFinalLineIsDroppedAndTruncated)
     std::remove(path.c_str());
 }
 
+TEST(ResultStore, UnterminatedFinalLineIsTreatedAsTorn)
+{
+    // Regression: a write torn exactly at the newline leaves a final
+    // line that *parses* but is not terminated. Keeping it used to
+    // make the next append concatenate onto it, merging two records
+    // into one corrupt line (losing a result and breaking the
+    // byte-determinism contract). The line must be dropped and the
+    // file truncated, like any other torn tail.
+    const std::string path =
+        testing::TempDir() + "pcbp_noeol_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ResultStore store(path);
+        store.put(sampleResult("k1"));
+        store.put(sampleResult("k2"));
+    }
+    // Strip the trailing newline: k2's line is now unterminated.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        std::string content = os.str();
+        ASSERT_EQ(content.back(), '\n');
+        content.pop_back();
+        in.close();
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << content;
+    }
+    std::string reference;
+    {
+        ResultStore store(path);
+        EXPECT_EQ(store.size(), 1u); // k2 dropped, will rerun
+        EXPECT_TRUE(store.has("k1"));
+        EXPECT_FALSE(store.has("k2"));
+        store.put(sampleResult("k2")); // the "rerun" lands cleanly
+        reference = slurp(path);
+    }
+    // The repaired file replays completely and stays byte-stable.
+    ResultStore reload(path);
+    EXPECT_EQ(reload.size(), 2u);
+    EXPECT_TRUE(reload.has("k2"));
+    EXPECT_EQ(slurp(path), reference);
+    std::remove(path.c_str());
+}
+
 TEST(ResultStore, MidFileCorruptionIsFatal)
 {
     const std::string path =
@@ -343,15 +397,6 @@ smallGrid()
     spec.branches = 2000;
     spec.workloads = {"mm.mpeg", "fp.swim"};
     return spec;
-}
-
-std::string
-slurp(const std::string &path)
-{
-    std::ifstream in(path);
-    std::ostringstream os;
-    os << in.rdbuf();
-    return os.str();
 }
 
 TEST(Runner, ResumeSkipsCompletedCells)
@@ -425,6 +470,70 @@ TEST(Runner, JobsDoNotAffectResults)
               ResultStore::exportJson(s4.all()));
     std::remove(p1.c_str());
     std::remove(p4.c_str());
+}
+
+TEST(Runner, KilledMidGridThenResumedIsByteIdentical)
+{
+    // The store's full invariant: however a grid's execution is cut
+    // up — different --jobs, interruption after any prefix, a kill
+    // that tears the final line — the finished JSONL file (and so
+    // every export) is byte-identical to an uninterrupted run.
+    const SweepSpec spec = smallGrid();
+    const std::size_t total = spec.cells().size();
+
+    const std::string ref_path =
+        testing::TempDir() + "pcbp_bytes_ref.jsonl";
+    std::remove(ref_path.c_str());
+    {
+        ResultStore store(ref_path);
+        SweepRunOptions opt;
+        opt.jobs = 1;
+        runSweep(spec, store, opt);
+    }
+    const std::string reference = slurp(ref_path);
+    ASSERT_FALSE(reference.empty());
+
+    // Interrupt after every possible prefix length, resume with a
+    // different worker count each time.
+    const std::string path =
+        testing::TempDir() + "pcbp_bytes_cut.jsonl";
+    for (std::size_t cut = 1; cut < total; ++cut) {
+        std::remove(path.c_str());
+        {
+            ResultStore store(path);
+            SweepRunOptions opt;
+            opt.jobs = 1 + unsigned(cut % 4);
+            opt.maxCells = cut;
+            runSweep(spec, store, opt);
+        }
+        {
+            ResultStore store(path);
+            SweepRunOptions opt;
+            opt.jobs = 8;
+            const SweepRunSummary s = runSweep(spec, store, opt);
+            EXPECT_EQ(s.skippedCells, cut);
+        }
+        EXPECT_EQ(slurp(path), reference) << "cut at " << cut;
+    }
+
+    // A kill that tears the final line mid-record: resume must drop
+    // the tail, rerun that cell, and still converge byte-identical.
+    {
+        std::remove(path.c_str());
+        std::ofstream out(path, std::ios::binary);
+        const std::size_t keep = reference.find('\n', 0) + 1;
+        out << reference.substr(0, keep)
+            << reference.substr(keep, 40); // torn second line
+    }
+    {
+        ResultStore store(path);
+        EXPECT_EQ(store.size(), 1u);
+        runSweep(spec, store, {});
+    }
+    EXPECT_EQ(slurp(path), reference) << "after torn-line resume";
+
+    std::remove(ref_path.c_str());
+    std::remove(path.c_str());
 }
 
 TEST(Runner, InMemoryStoreServesPortedBenches)

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Property/fuzz tests for the PCBPTRC1 trace parser.
+ *
+ * Properties:
+ * - write -> read round-trips exactly, for randomized record
+ *   payloads across the whole value range (including extremes);
+ * - malformed input — truncation at any boundary, corrupted magic,
+ *   bit flips anywhere in the file — is a graceful error through the
+ *   try* entry points (and a clean exit(1) through the fatal
+ *   wrappers), never a crash or out-of-bounds read. The ASan+UBSan
+ *   CI job runs this file in the fast set, so any parser overread
+ *   trips the sanitizers here.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "workload/trace.hh"
+
+namespace pcbp
+{
+namespace
+{
+
+std::string
+tmpPath(const char *stem)
+{
+    return testing::TempDir() + stem;
+}
+
+std::vector<CommittedBranch>
+randomTrace(Rng &rng, std::size_t n)
+{
+    std::vector<CommittedBranch> t;
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        CommittedBranch r;
+        // Mix extremes in with ordinary values.
+        switch (rng.nextBelow(8)) {
+          case 0:
+            r.block = 0;
+            break;
+          case 1:
+            r.block = 0xffffffffu;
+            break;
+          default:
+            r.block = BlockId(rng.nextBelow(1u << 20));
+        }
+        r.pc = rng.next();
+        r.taken = rng.nextBool(0.5);
+        r.numUops = rng.nextBelow(4) == 0
+                        ? 0xffffffffu
+                        : std::uint32_t(rng.nextBelow(64));
+        t.push_back(r);
+    }
+    return t;
+}
+
+std::vector<unsigned char>
+slurpBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<unsigned char>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path,
+           const std::vector<unsigned char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              std::streamsize(bytes.size()));
+}
+
+/** Scan via the non-fatal entry point, discarding records. */
+bool
+tryScan(const std::string &path, std::string &error)
+{
+    return tryScanTraceFile(
+        path, [](const CommittedBranch &) {}, error);
+}
+
+// -------------------------------------------------------- round trip
+
+TEST(TraceFuzz, RoundTripRandomTraces)
+{
+    const std::string path = tmpPath("fuzz_roundtrip.pcbptrc");
+    Rng rng(2024);
+    for (int iter = 0; iter < 10; ++iter) {
+        const auto trace =
+            randomTrace(rng, 1 + std::size_t(rng.nextBelow(500)));
+        saveTrace(path, trace);
+
+        EXPECT_EQ(traceFileCount(path), trace.size());
+        const auto back = loadTrace(path);
+        ASSERT_EQ(back.size(), trace.size());
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            EXPECT_EQ(back[i].block, trace[i].block);
+            EXPECT_EQ(back[i].pc, trace[i].pc);
+            EXPECT_EQ(back[i].taken, trace[i].taken);
+            EXPECT_EQ(back[i].numUops, trace[i].numUops);
+        }
+        const TraceSummary file = summarizeTraceFile(path);
+        const TraceSummary mem = summarizeTrace(trace);
+        EXPECT_EQ(file.branches, mem.branches);
+        EXPECT_EQ(file.uops, mem.uops);
+        EXPECT_EQ(file.takenBranches, mem.takenBranches);
+        EXPECT_EQ(file.staticBranches, mem.staticBranches);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFuzz, EmptyTraceRoundTrips)
+{
+    const std::string path = tmpPath("fuzz_empty.pcbptrc");
+    saveTrace(path, {});
+    EXPECT_EQ(traceFileCount(path), 0u);
+    EXPECT_TRUE(loadTrace(path).empty());
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- truncation
+
+TEST(TraceFuzz, TruncationAtEveryBoundaryIsAGracefulError)
+{
+    const std::string good = tmpPath("fuzz_trunc_src.pcbptrc");
+    const std::string cut = tmpPath("fuzz_trunc_cut.pcbptrc");
+    Rng rng(7);
+    saveTrace(good, randomTrace(rng, 40));
+    const auto bytes = slurpBytes(good);
+    ASSERT_EQ(bytes.size(),
+              tracefmt::headerBytes + 40 * tracefmt::recordBytes);
+
+    // Headers cut anywhere, and bodies cut mid-record and at every
+    // record boundary short of the promised count, must all error.
+    std::vector<std::size_t> cuts;
+    for (std::size_t n = 0; n < tracefmt::headerBytes; ++n)
+        cuts.push_back(n);
+    Rng pick(99);
+    for (int i = 0; i < 40; ++i)
+        cuts.push_back(tracefmt::headerBytes +
+                       std::size_t(pick.nextBelow(
+                           std::uint64_t(bytes.size()) -
+                           tracefmt::headerBytes)));
+    for (const std::size_t n : cuts) {
+        writeBytes(cut, {bytes.begin(), bytes.begin() + long(n)});
+        std::string error;
+        EXPECT_FALSE(tryScan(cut, error)) << "cut at " << n;
+        EXPECT_FALSE(error.empty()) << "cut at " << n;
+    }
+
+    // The fatal wrapper exits cleanly (no abort, no crash).
+    writeBytes(cut, {bytes.begin(), bytes.begin() + 20});
+    EXPECT_EXIT(loadTrace(cut), testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(good.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(TraceFuzz, MissingFileIsAGracefulError)
+{
+    std::string error;
+    EXPECT_FALSE(tryScan(tmpPath("fuzz_does_not_exist.pcbptrc"), error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+// ------------------------------------------------------ corrupt magic
+
+TEST(TraceFuzz, CorruptMagicIsRejectedByteByByte)
+{
+    const std::string path = tmpPath("fuzz_magic.pcbptrc");
+    Rng rng(13);
+    const auto trace = randomTrace(rng, 8);
+    saveTrace(path, trace);
+    const auto bytes = slurpBytes(path);
+
+    for (std::size_t i = 0; i < 8; ++i) {
+        auto mut = bytes;
+        mut[i] ^= 0x40;
+        writeBytes(path, mut);
+        std::string error;
+        EXPECT_FALSE(tryScan(path, error)) << "magic byte " << i;
+        EXPECT_NE(error.find("bad magic"), std::string::npos);
+    }
+
+    // Fatal wrapper: clean exit, not a crash.
+    EXPECT_EXIT(traceFileCount(path), testing::ExitedWithCode(1),
+                "bad magic");
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- bit flips
+
+TEST(TraceFuzz, SingleBitFlipsNeverCrashTheParser)
+{
+    const std::string good = tmpPath("fuzz_flip_src.pcbptrc");
+    const std::string bad = tmpPath("fuzz_flip_mut.pcbptrc");
+    Rng rng(31337);
+    const auto trace = randomTrace(rng, 64);
+    saveTrace(good, trace);
+    const auto bytes = slurpBytes(good);
+
+    // Every header bit, exhaustively: magic flips must be rejected;
+    // count flips must be rejected when they promise more records
+    // than the file holds, and deliver exactly the (smaller) promised
+    // count otherwise. Never a crash either way.
+    int rejected = 0;
+    for (std::size_t byte = 0; byte < tracefmt::headerBytes; ++byte) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            auto mut = bytes;
+            mut[byte] ^= (1u << bit);
+            writeBytes(bad, mut);
+
+            std::uint64_t records = 0;
+            std::string error;
+            const bool ok = tryScanTraceFile(
+                bad, [&](const CommittedBranch &) { ++records; },
+                error);
+            if (byte < 8) {
+                EXPECT_FALSE(ok) << "magic byte " << byte;
+                ++rejected;
+                continue;
+            }
+            // Count bytes: a cleared bit shrinks the promise (still
+            // readable), a set bit inflates it past the file size.
+            const bool grew = (bytes[byte] & (1u << bit)) == 0;
+            if (grew) {
+                EXPECT_FALSE(ok)
+                    << "count byte " << byte << " bit " << bit;
+                EXPECT_NE(error.find("truncated"), std::string::npos);
+                ++rejected;
+            } else {
+                EXPECT_TRUE(ok) << error;
+                EXPECT_LT(records, trace.size());
+            }
+        }
+    }
+    EXPECT_GT(rejected, 64);
+
+    // Random body flips: structurally valid, every promised record
+    // still delivered, no crash under the sanitizers.
+    for (int iter = 0; iter < 200; ++iter) {
+        auto mut = bytes;
+        const std::size_t byte =
+            tracefmt::headerBytes +
+            std::size_t(rng.nextBelow(
+                std::uint64_t(mut.size()) - tracefmt::headerBytes));
+        mut[byte] ^= (1u << rng.nextBelow(8));
+        writeBytes(bad, mut);
+
+        std::uint64_t records = 0;
+        std::string error;
+        EXPECT_TRUE(tryScanTraceFile(
+            bad, [&](const CommittedBranch &) { ++records; }, error))
+            << error;
+        EXPECT_EQ(records, trace.size());
+    }
+    std::remove(good.c_str());
+    std::remove(bad.c_str());
+}
+
+TEST(TraceFuzz, PayloadFlipsStillReconstructOrErrorCleanly)
+{
+    const std::string good = tmpPath("fuzz_recon_src.pcbptrc");
+    const std::string bad = tmpPath("fuzz_recon_mut.pcbptrc");
+    Rng rng(555);
+    // Small block ids so most flips stay under the reconstruction
+    // limit; flips that exceed it are covered by the gate below.
+    std::vector<CommittedBranch> trace;
+    for (int i = 0; i < 50; ++i) {
+        CommittedBranch r;
+        r.block = BlockId(i % 7);
+        r.pc = 0x400000 + (r.block << 4);
+        r.taken = (i % 3) == 0;
+        r.numUops = 4;
+        trace.push_back(r);
+    }
+    saveTrace(good, trace);
+    const auto bytes = slurpBytes(good);
+
+    int reconstructed = 0;
+    for (int iter = 0; iter < 100; ++iter) {
+        auto mut = bytes;
+        const std::size_t byte =
+            tracefmt::headerBytes +
+            std::size_t(rng.nextBelow(std::uint64_t(
+                mut.size()) - tracefmt::headerBytes));
+        mut[byte] ^= (1u << rng.nextBelow(8));
+        writeBytes(bad, mut);
+
+        // Gate on the reconstruction limit: beyond it the API is
+        // specified to exit(1) (covered separately below).
+        BlockId max_block = 0;
+        std::string error;
+        ASSERT_TRUE(tryScanTraceFile(
+            bad,
+            [&](const CommittedBranch &r) {
+                max_block = std::max(max_block, r.block);
+            },
+            error));
+        if (max_block >= (BlockId(1) << 24))
+            continue;
+        const Program p = reconstructProgramFromTrace(bad, "mut");
+        EXPECT_GT(p.numBlocks(), 0u);
+        ++reconstructed;
+    }
+    EXPECT_GT(reconstructed, 0);
+
+    // A block id past the limit is a clean fatal, not UB.
+    auto mut = bytes;
+    mut[tracefmt::headerBytes + 3] = 0xff; // high byte of record 0's id
+    writeBytes(bad, mut);
+    EXPECT_EXIT(reconstructProgramFromTrace(bad, "huge"),
+                testing::ExitedWithCode(1), "reconstruction limit");
+    std::remove(good.c_str());
+    std::remove(bad.c_str());
+}
+
+// ----------------------------------------------------- random garbage
+
+TEST(TraceFuzz, RandomGarbageFilesAreGracefulErrors)
+{
+    const std::string path = tmpPath("fuzz_garbage.bin");
+    Rng rng(777);
+    for (int iter = 0; iter < 60; ++iter) {
+        std::vector<unsigned char> bytes(
+            std::size_t(rng.nextBelow(200)));
+        for (auto &b : bytes)
+            b = static_cast<unsigned char>(rng.nextBelow(256));
+        // Never accidentally a valid header.
+        if (bytes.size() >= 8 &&
+            std::memcmp(bytes.data(), tracefmt::magic, 8) == 0) {
+            bytes[0] ^= 0xff;
+        }
+        writeBytes(path, bytes);
+        std::string error;
+        EXPECT_FALSE(tryScan(path, error)) << "iter " << iter;
+        EXPECT_FALSE(error.empty());
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pcbp

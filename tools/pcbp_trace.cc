@@ -20,6 +20,12 @@
  *       the committed stream — resident memory stays O(pipeline)
  *       however long the trace is. Equivalent workload name for the
  *       driver/sweep layers: trace:FILE.
+ *
+ *   pcbp_trace h2p FILE [replay options] [--top N]
+ *       Replay FILE with the commit-path H2P profiler attached and
+ *       print the hard-to-predict branch report: per-branch
+ *       accuracy/entropy, the top-miss ranking, and how concentrated
+ *       the misses are (Lin & Tarsa / Bullseye-style targeting view).
  */
 
 #include <cinttypes>
@@ -48,7 +54,8 @@ usage(const char *argv0)
         "  replay    FILE [--prophet K] [--prophet-budget B]\n"
         "                 [--critic K|none] [--critic-budget B]\n"
         "                 [--future-bits N] [--warmup N] [--measure N]\n"
-        "                 [--timing]\n",
+        "                 [--timing]\n"
+        "  h2p       FILE [replay options] [--top N]\n",
         argv0);
     std::exit(2);
 }
@@ -116,48 +123,69 @@ cmdSummarize(const std::string &path)
     return 0;
 }
 
-int
-cmdReplay(const std::string &path, int argc, char **argv)
+/** Options shared by the replay and h2p commands. */
+struct ReplayOptions
 {
     HybridSpec spec =
         hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
                    CriticKind::TaggedGshare, Budget::B8KB, 8);
     std::optional<std::uint64_t> warmupOpt, measureOpt;
     bool timing = false;
-    bool haveCritic = true;
+    bool sawTop = false;
+    std::size_t top = 10;
+};
 
+ReplayOptions
+parseReplayOptions(int argc, char **argv)
+{
+    ReplayOptions o;
+    bool haveCritic = true;
     for (int i = 0; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--prophet" && i + 1 < argc)
-            spec.prophet = parseProphetKind(argv[++i]);
+            o.spec.prophet = parseProphetKind(argv[++i]);
         else if (a == "--prophet-budget" && i + 1 < argc)
-            spec.prophetBudget = parseBudget(argv[++i]);
+            o.spec.prophetBudget = parseBudget(argv[++i]);
         else if (a == "--critic" && i + 1 < argc) {
             const std::string k = argv[++i];
             haveCritic = k != "none";
             if (haveCritic)
-                spec.critic = parseCriticKind(k);
+                o.spec.critic = parseCriticKind(k);
         } else if (a == "--critic-budget" && i + 1 < argc)
-            spec.criticBudget = parseBudget(argv[++i]);
+            o.spec.criticBudget = parseBudget(argv[++i]);
         else if (a == "--future-bits" && i + 1 < argc)
-            spec.futureBits = unsigned(parseCount(argv[++i]));
+            o.spec.futureBits = unsigned(parseCount(argv[++i]));
         else if (a == "--warmup" && i + 1 < argc)
-            warmupOpt = parseCount(argv[++i]);
+            o.warmupOpt = parseCount(argv[++i]);
         else if (a == "--measure" && i + 1 < argc)
-            measureOpt = parseCount(argv[++i]);
+            o.measureOpt = parseCount(argv[++i]);
         else if (a == "--timing")
-            timing = true;
-        else
+            o.timing = true;
+        else if (a == "--top" && i + 1 < argc) {
+            o.sawTop = true;
+            o.top = parseCount(argv[++i]);
+        } else
             usage("pcbp_trace");
     }
     if (!haveCritic) {
-        spec.critic.reset();
-        spec.futureBits = 0;
+        o.spec.critic.reset();
+        o.spec.futureBits = 0;
     }
+    return o;
+}
+
+int
+cmdReplay(const std::string &path, int argc, char **argv)
+{
+    const ReplayOptions o = parseReplayOptions(argc, argv);
+    if (o.sawTop)
+        pcbp_fatal("--top belongs to the h2p command");
+    const HybridSpec &spec = o.spec;
+    const bool timing = o.timing;
 
     const Workload &w = workloadByName("trace:" + path);
-    const std::uint64_t warmup = warmupOpt.value_or(w.warmupBranches);
-    const std::uint64_t measure = measureOpt.value_or(w.simBranches);
+    const std::uint64_t warmup = o.warmupOpt.value_or(w.warmupBranches);
+    const std::uint64_t measure = o.measureOpt.value_or(w.simBranches);
 
     Program program = buildProgram(w);
     auto hybrid = spec.build();
@@ -203,6 +231,25 @@ cmdReplay(const std::string &path, int argc, char **argv)
     return 0;
 }
 
+int
+cmdH2p(const std::string &path, int argc, char **argv)
+{
+    const ReplayOptions o = parseReplayOptions(argc, argv);
+    if (o.timing)
+        pcbp_fatal("h2p profiles the accuracy engine; drop --timing");
+
+    const Workload &w = workloadByName("trace:" + path);
+    EngineConfig cfg;
+    cfg.warmupBranches = o.warmupOpt.value_or(w.warmupBranches);
+    cfg.measureBranches = o.measureOpt.value_or(w.simBranches);
+
+    H2PConfig hcfg;
+    hcfg.topN = o.top;
+    const H2PReport report = runH2P(w, o.spec, cfg, hcfg);
+    std::fputs(report.render().c_str(), stdout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -217,5 +264,7 @@ main(int argc, char **argv)
         return cmdSummarize(argv[2]);
     if (cmd == "replay" && argc >= 3)
         return cmdReplay(argv[2], argc - 3, argv + 3);
+    if (cmd == "h2p" && argc >= 3)
+        return cmdH2p(argv[2], argc - 3, argv + 3);
     usage(argv[0]);
 }
