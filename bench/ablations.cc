@@ -1,171 +1,19 @@
 /**
  * @file
- * Ablation benches for the design choices the paper motivates:
- *
- *  (i)   wrong-path vs oracle future bits (§6): the paper argues a
- *        trace-driven simulator that feeds correct-path outcomes as
- *        future bits gives the critic oracle information. We measure
- *        both and report the inflation.
- *  (ii)  filtering (§4): unfiltered perceptron critic vs filtered
- *        perceptron critic at the same budget and future bits.
- *  (iii) filter tag width (§4): the paper reports 8-10 tag bits are
- *        enough to identify contexts; we sweep 4-14.
- *  (iv)  checkpoint repair (§3.3): BHR/BOR repair on mispredict
- *        versus leaving polluted speculative history in place.
- *  (v)   speculative history update (§3.2): predictions enter the
- *        registers at predict time versus only at commit.
+ * The design-choice ablations (§3.2/§3.3/§4/§6: oracle future bits,
+ * critique filtering, filter tag width, checkpoint repair,
+ * speculative history update) as a thin wrapper over the figure
+ * registry (src/report/figures.cc; also `pcbp_repro run --figures
+ * ablations`). The oracle and tag-width panels ride the sweep
+ * layer's `oracle` and `filter_tag_bits` axes. Accepts
+ * --workloads/--suite (incl. trace:<path>), --branches, --jobs,
+ * --quick.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "core/tagged_gshare.hh"
-#include "sim/driver.hh"
-
-using namespace pcbp;
-
-namespace
-{
-
-/** A compact subset of the AVG basket keeps the ablations fast. */
-std::vector<const Workload *>
-ablationSet()
-{
-    return {&workloadByName("int.crafty"), &workloadByName("mm.mpeg"),
-            &workloadByName("web.jbb"), &workloadByName("ws.cad")};
-}
-
-double
-meanMispPerKuops(const std::vector<const Workload *> &set,
-                 const HybridSpec &spec)
-{
-    return runSetAggregated(set, spec).mispPerKuops;
-}
-
-void
-oracleAblation(const std::vector<const Workload *> &set)
-{
-    std::cout << "--- (i) wrong-path vs oracle future bits (Sec. 6) "
-                 "---\n";
-    const auto spec =
-        hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
-                   CriticKind::TaggedGshare, Budget::B8KB, 8);
-    TablePrinter t({"workload", "real wrong-path", "oracle trace",
-                    "oracle inflation"});
-    for (const Workload *w : set) {
-        EngineConfig real_cfg = engineConfigFor(*w);
-        EngineConfig oracle_cfg = real_cfg;
-        oracle_cfg.oracleFutureBits = true;
-        const double real =
-            runAccuracy(*w, spec, real_cfg).mispPerKuops();
-        const double oracle =
-            runAccuracy(*w, spec, oracle_cfg).mispPerKuops();
-        t.addRow({w->name, fmtDouble(real, 3), fmtDouble(oracle, 3),
-                  fmtDouble(pctReduction(real, oracle), 1) + "%"});
-    }
-    std::cout << t.str()
-              << "oracle bits make the critic look better than a real "
-                 "machine could be —\nwhich is why the engine walks "
-                 "real wrong paths\n\n";
-}
-
-void
-filterAblation(const std::vector<const Workload *> &set)
-{
-    std::cout << "--- (ii) filtered vs unfiltered critic (Sec. 4) "
-                 "---\n";
-    TablePrinter t({"future bits", "unfiltered perceptron",
-                    "filtered perceptron", "filter benefit"});
-    for (unsigned fb : {1u, 8u, 12u}) {
-        const double unf = meanMispPerKuops(
-            set, hybridSpec(ProphetKind::GSkew, Budget::B8KB,
-                            CriticKind::UnfilteredPerceptron,
-                            Budget::B8KB, fb));
-        const double fil = meanMispPerKuops(
-            set, hybridSpec(ProphetKind::GSkew, Budget::B8KB,
-                            CriticKind::FilteredPerceptron,
-                            Budget::B8KB, fb));
-        t.addRow({std::to_string(fb), fmtDouble(unf, 3),
-                  fmtDouble(fil, 3),
-                  fmtDouble(pctReduction(unf, fil), 1) + "%"});
-    }
-    std::cout << t.str() << "\n";
-}
-
-void
-tagWidthAblation(const std::vector<const Workload *> &set)
-{
-    std::cout << "--- (iii) filter tag width sweep (Sec. 4 says 8-10 "
-                 "bits suffice) ---\n";
-    TablePrinter t({"tag bits", "misp/Kuops"});
-    for (unsigned tag_bits : {4u, 6u, 8u, 10u, 12u, 14u}) {
-        // Build the hybrid by hand: Table 3's 8KB tagged gshare
-        // geometry with a custom tag width.
-        std::vector<EngineStats> runs;
-        for (const Workload *w : set) {
-            HybridConfig hc;
-            hc.numFutureBits = 8;
-            ProphetCriticHybrid hybrid(
-                makeProphet(ProphetKind::Perceptron, Budget::B8KB),
-                std::make_unique<TaggedGshare>(1024, 6, tag_bits, 18),
-                hc);
-            Program prog = buildProgram(*w);
-            Engine engine(prog, hybrid, engineConfigFor(*w));
-            runs.push_back(engine.run());
-        }
-        t.addRow({std::to_string(tag_bits),
-                  fmtDouble(aggregate(runs).mispPerKuops, 3)});
-    }
-    std::cout << t.str() << "\n";
-}
-
-void
-repairAblation(const std::vector<const Workload *> &set)
-{
-    std::cout << "--- (iv) checkpoint repair of BHR/BOR (Sec. 3.3) "
-                 "---\n";
-    auto spec = hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
-                           CriticKind::TaggedGshare, Budget::B8KB, 8);
-    const double with_repair = meanMispPerKuops(set, spec);
-    spec.repairHistory = false;
-    const double without = meanMispPerKuops(set, spec);
-    TablePrinter t({"configuration", "misp/Kuops"});
-    t.addRow({"repair on (paper design)", fmtDouble(with_repair, 3)});
-    t.addRow({"repair off (polluted history)", fmtDouble(without, 3)});
-    std::cout << t.str() << "\n";
-}
-
-void
-speculativeHistoryAblation(const std::vector<const Workload *> &set)
-{
-    std::cout << "--- (v) speculative vs retired history update "
-                 "(Sec. 3.2) ---\n";
-    TablePrinter t({"configuration", "misp/Kuops"});
-    for (ProphetKind p : {ProphetKind::Gshare, ProphetKind::Perceptron}) {
-        auto spec = prophetAlone(p, Budget::B16KB);
-        const double spec_on = meanMispPerKuops(set, spec);
-        spec.speculativeHistory = false;
-        const double spec_off = meanMispPerKuops(set, spec);
-        t.addRow({prophetKindName(p) + ", speculative update",
-                  fmtDouble(spec_on, 3)});
-        t.addRow({prophetKindName(p) + ", retired-only update",
-                  fmtDouble(spec_off, 3)});
-    }
-    std::cout << t.str() << "\n";
-}
-
-} // namespace
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Ablations of the paper's design choices ===\n\n";
-    const auto set = ablationSet();
-    oracleAblation(set);
-    filterAblation(set);
-    tagWidthAblation(set);
-    repairAblation(set);
-    speculativeHistoryAblation(set);
-    return 0;
+    return pcbp::figureMain("ablations", argc, argv);
 }

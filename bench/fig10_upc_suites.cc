@@ -1,52 +1,16 @@
 /**
  * @file
- * Reproduces Figure 10: per-suite uPC for the 8KB 2Bc-gskew prophet
- * + 8KB tagged gshare critic hybrid at 4/8/12 future bits, against
- * the 16KB 2Bc-gskew alone.
- *
- * Paper shapes: the hybrid wins on every suite; FP00 gains least
- * (0.6% at 4 fb, 1.7% at 12), INT00 most (4.2% at 4 fb, 10.7% at
- * 12), WEB in between.
+ * Figure 10 (per-suite uPC under the 2Bc-gskew + tagged gshare
+ * hybrid) as a thin wrapper over the figure registry
+ * (src/report/figures.cc; also `pcbp_repro run --figures fig10`).
+ * Accepts --workloads/--suite (incl. trace:<path>) — each selector
+ * becomes a row — plus --branches, --jobs, --quick.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/driver.hh"
-
-using namespace pcbp;
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Figure 10: per-suite uPC (prophet: 8KB "
-                 "2Bc-gskew; critic: 8KB tagged gshare) ===\n\n";
-
-    TablePrinter table({"suite", "16KB alone", "4 fb", "8 fb", "12 fb",
-                        "speedup @12fb"});
-
-    for (const auto &suite : allSuites()) {
-        const auto set = suiteWorkloads(suite);
-        const double alone = meanUpc(
-            runTimingSet(set, prophetAlone(ProphetKind::GSkew,
-                                           Budget::B16KB)));
-        std::vector<std::string> row = {suite, fmtDouble(alone, 3)};
-        double at12 = 0;
-        for (unsigned fb : {4u, 8u, 12u}) {
-            const double upc = meanUpc(runTimingSet(
-                set, hybridSpec(ProphetKind::GSkew, Budget::B8KB,
-                                CriticKind::TaggedGshare, Budget::B8KB,
-                                fb)));
-            row.push_back(fmtDouble(upc, 3));
-            at12 = upc;
-        }
-        row.push_back(fmtDouble(100.0 * (at12 / alone - 1.0), 1) + "%");
-        table.addRow(row);
-    }
-
-    std::cout << table.str()
-              << "\npaper: FP00 smallest gain (~1.7% @12fb), INT00 "
-                 "largest (~10.7% @12fb)\n";
-    return 0;
+    return pcbp::figureMain("fig10", argc, argv);
 }

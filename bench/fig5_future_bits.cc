@@ -1,97 +1,17 @@
 /**
  * @file
- * Reproduces Figure 5: mispredict rate (misp/Kuops) as the number of
- * future bits used by the critic varies from 0 to 12, for the six
- * individually-plotted benchmarks plus their average.
- *
- * Paper configuration: prophet = 8KB perceptron, critic = 8KB tagged
- * gshare. Paper shapes: adding 1 future bit always helps (~15% on
- * average); beyond that, unzip keeps improving to 12, premiere is
- * front-loaded, msvc7 peaks near 8, flash peaks near 4, facerec is
- * insensitive, and tpcc never benefits past 1.
- *
- * The grid (1 config family x 5 future-bit settings x 6 workloads)
- * runs on the sweep subsystem: cells are sharded across cores by the
- * work-stealing pool and the table is assembled from the store.
+ * Figure 5 (mispredict rate vs. number of future bits) as a thin
+ * wrapper over the figure registry — the grid, the claim, and the
+ * rendering live in src/report/figures.cc; `pcbp_repro run
+ * --figures fig5` produces the same tables as file artifacts.
+ * Accepts --workloads/--suite (incl. trace:<path>), --branches,
+ * --jobs, --quick.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sweep/runner.hh"
-
-using namespace pcbp;
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<unsigned> future_bits = {0, 1, 4, 8, 12};
-    const auto set = fig5Set();
-
-    SweepSpec sweep;
-    sweep.name = "fig5";
-    sweep.axes.prophets = {ProphetKind::Perceptron};
-    sweep.axes.prophetBudgets = {Budget::B8KB};
-    sweep.axes.critics = {CriticKind::TaggedGshare};
-    sweep.axes.criticBudgets = {Budget::B8KB};
-    sweep.axes.futureBits = future_bits;
-    sweep.workloads = {"FIG5"};
-
-    ResultStore store;
-    runSweep(sweep, store);
-    const auto cells = sweep.cells();
-
-    auto misp = [&](const Workload *w, unsigned fb) {
-        for (const auto &cell : cells)
-            if (cell.workload == w && cell.spec.futureBits == fb)
-                return store.statsFor(cell).mispPerKuops();
-        pcbp_fatal("fig5: no cell for ", w->name, " @", fb, "fb");
-    };
-
-    std::cout << "=== Figure 5: effect of the number of future bits ===\n"
-              << "prophet: 8KB perceptron; critic: 8KB tagged gshare\n"
-              << "metric: misp/Kuops (final mispredicts per 1000 "
-                 "committed uops)\n\n";
-
-    std::vector<std::string> headers = {"benchmark"};
-    for (unsigned fb : future_bits)
-        headers.push_back(std::to_string(fb) + " fb");
-    headers.push_back("paper-shape");
-    TablePrinter table(headers);
-
-    const std::vector<std::string> shapes = {
-        "keeps improving to 12",
-        "front-loaded at 1",
-        "peaks near 8",
-        "peaks near 4",
-        "insensitive",
-        "only 1 helps",
-    };
-
-    std::vector<std::vector<double>> per_bench(set.size());
-    for (std::size_t wi = 0; wi < set.size(); ++wi) {
-        std::vector<std::string> row = {set[wi]->name};
-        for (unsigned fb : future_bits) {
-            const double m = misp(set[wi], fb);
-            per_bench[wi].push_back(m);
-            row.push_back(fmtDouble(m, 3));
-        }
-        row.push_back(shapes[wi]);
-        table.addRow(row);
-    }
-
-    // AVG over the six benchmarks (paper's "AVG" line).
-    std::vector<std::string> avg_row = {"AVG"};
-    for (std::size_t f = 0; f < future_bits.size(); ++f) {
-        double sum = 0;
-        for (const auto &v : per_bench)
-            sum += v[f];
-        avg_row.push_back(fmtDouble(sum / double(per_bench.size()), 3));
-    }
-    avg_row.push_back("1 fb cuts ~15%");
-    table.addRow(avg_row);
-
-    std::cout << table.str() << "\n";
-    return 0;
+    return pcbp::figureMain("fig5", argc, argv);
 }

@@ -1,108 +1,15 @@
 /**
  * @file
- * Reproduces Figure 6: average mispredict rates for three
- * prophet/critic combinations across prophet sizes (4KB, 16KB),
- * critic sizes (2KB, 8KB, 32KB), and future-bit counts
- * (none / 1 / 4 / 8 / 12), averaged over the AVG workload basket.
- *
- *  (a) 2Bc-gskew prophet + unfiltered perceptron critic — the
- *      unfiltered critic stops improving (and regresses) at high
- *      future-bit counts because future bits displace the history
- *      its critiques of easy branches depend on;
- *  (b) gshare prophet + filtered perceptron critic;
- *  (c) perceptron prophet + tagged gshare critic.
- *
- * Paper shapes: adding any critic beats the prophet alone; larger
- * critics help; filtering keeps high-future-bit configurations from
- * regressing as hard as the unfiltered critic.
- *
- * Each panel is one declarative sweep (2 prophet budgets x
- * {baseline, 3 critic budgets x 4 future-bit counts} x 14 AVG
- * workloads = 364 cells) run on the sweep subsystem.
+ * Figure 6 (prophet/critic combinations and sizes) as a thin wrapper
+ * over the figure registry (src/report/figures.cc; also `pcbp_repro
+ * run --figures fig6`). Accepts --workloads/--suite (incl.
+ * trace:<path>), --branches, --jobs, --quick.
  */
 
-#include <functional>
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sweep/runner.hh"
-
-using namespace pcbp;
-
-namespace
-{
-
-void
-runPanel(const char *title, ProphetKind prophet, CriticKind critic)
-{
-    std::cout << "--- " << title << " ---\n";
-    const std::vector<Budget> prophet_sizes = {Budget::B4KB,
-                                               Budget::B16KB};
-    const std::vector<Budget> critic_sizes = {Budget::B2KB, Budget::B8KB,
-                                              Budget::B32KB};
-    const std::vector<unsigned> future_bits = {1, 4, 8, 12};
-
-    SweepSpec sweep;
-    sweep.name = "fig6";
-    sweep.axes.prophets = {prophet};
-    sweep.axes.prophetBudgets = prophet_sizes;
-    sweep.axes.critics = {std::nullopt, critic};
-    sweep.axes.criticBudgets = critic_sizes;
-    sweep.axes.futureBits = future_bits;
-    sweep.workloads = {"AVG"};
-
-    ResultStore store;
-    runSweep(sweep, store);
-    const auto cells = sweep.cells();
-
-    TablePrinter table({"configuration", "no critic", "1 fb", "4 fb",
-                        "8 fb", "12 fb"});
-    for (Budget pb : prophet_sizes) {
-        const double alone =
-            aggregateCells(store, cells, [&](const SweepCell &c) {
-                return c.spec.prophetBudget == pb && !c.spec.critic;
-            }).mispPerKuops;
-        for (Budget cb : critic_sizes) {
-            std::vector<std::string> row = {
-                budgetName(pb) + " prophet + " + budgetName(cb) +
-                " critic",
-                fmtDouble(alone, 3)};
-            for (unsigned fb : future_bits) {
-                const double m =
-                    aggregateCells(store, cells,
-                                   [&](const SweepCell &c) {
-                                       return c.spec.prophetBudget ==
-                                                  pb &&
-                                              c.spec.critic &&
-                                              c.spec.criticBudget ==
-                                                  cb &&
-                                              c.spec.futureBits == fb;
-                                   })
-                        .mispPerKuops;
-                row.push_back(fmtDouble(m, 3));
-            }
-            table.addRow(row);
-        }
-    }
-    std::cout << table.str() << "\n";
-}
-
-} // namespace
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Figure 6: prophet/critic combinations and sizes "
-                 "===\n"
-              << "metric: misp/Kuops averaged over the AVG set ("
-              << avgSet().size() << " workloads)\n\n";
-
-    runPanel("(a) prophet: 2Bc-gskew; critic: perceptron (unfiltered)",
-             ProphetKind::GSkew, CriticKind::UnfilteredPerceptron);
-    runPanel("(b) prophet: gshare; critic: filtered perceptron",
-             ProphetKind::Gshare, CriticKind::FilteredPerceptron);
-    runPanel("(c) prophet: perceptron; critic: tagged gshare",
-             ProphetKind::Perceptron, CriticKind::TaggedGshare);
-    return 0;
+    return pcbp::figureMain("fig6", argc, argv);
 }

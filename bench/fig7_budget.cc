@@ -1,106 +1,16 @@
 /**
  * @file
- * Reproduces Figure 7: conventional predictors versus prophet/critic
- * hybrids at matched total hardware budgets (16KB and 32KB), using 8
- * future bits. The prophet gets half the budget; the other half goes
- * to a filtered perceptron or tagged gshare critic.
- *
- * Paper numbers: hybrids reduce the mispredict rate by 15-31%
- * relative to the conventional predictor of the same total size,
- * with the tagged gshare critic reaching 25-31%.
- *
- * Each budget point composes two declarative sweeps against one
- * store — baselines (3 prophets at the full budget, no critic) and
- * hybrids (3 prophets x 2 critics at half/half) — since a single
- * cartesian grid would also generate full-budget hybrids and
- * half-budget baselines the figure never reads.
+ * Figure 7 (conventional vs prophet/critic at matched hardware
+ * budgets) as a thin wrapper over the figure registry
+ * (src/report/figures.cc; also `pcbp_repro run --figures fig7`).
+ * Accepts --workloads/--suite (incl. trace:<path>), --branches,
+ * --jobs, --quick.
  */
 
-#include <functional>
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sweep/runner.hh"
-
-using namespace pcbp;
-
-namespace
-{
-
-void
-runBudget(Budget total, Budget half)
-{
-    const unsigned fb = 8;
-    const std::vector<ProphetKind> prophets = {
-        ProphetKind::Gshare, ProphetKind::GSkew,
-        ProphetKind::Perceptron};
-
-    SweepSpec base;
-    base.name = "fig7-" + budgetName(total) + "-baseline";
-    base.axes.prophets = prophets;
-    base.axes.prophetBudgets = {total};
-    base.axes.critics = {std::nullopt};
-    base.workloads = {"AVG"};
-
-    SweepSpec hyb;
-    hyb.name = "fig7-" + budgetName(total) + "-hybrid";
-    hyb.axes.prophets = prophets;
-    hyb.axes.prophetBudgets = {half};
-    hyb.axes.critics = {CriticKind::FilteredPerceptron,
-                        CriticKind::TaggedGshare};
-    hyb.axes.criticBudgets = {half};
-    hyb.axes.futureBits = {fb};
-    hyb.workloads = {"AVG"};
-
-    ResultStore store;
-    runSweep(base, store);
-    runSweep(hyb, store);
-    auto cells = base.cells();
-    const auto hyb_cells = hyb.cells();
-    cells.insert(cells.end(), hyb_cells.begin(), hyb_cells.end());
-
-    std::cout << "--- " << budgetName(total) << " total budget ---\n";
-    TablePrinter table({"predictor", "misp/Kuops", "reduction"});
-
-    for (ProphetKind p : {ProphetKind::Gshare, ProphetKind::GSkew,
-                          ProphetKind::Perceptron}) {
-        const double conv =
-            aggregateCells(store, cells, [&](const SweepCell &c) {
-                return c.spec.prophet == p &&
-                       c.spec.prophetBudget == total && !c.spec.critic;
-            }).mispPerKuops;
-        table.addRow({budgetName(total) + " " + prophetKindName(p),
-                      fmtDouble(conv, 3), "(baseline)"});
-
-        for (CriticKind c : {CriticKind::FilteredPerceptron,
-                             CriticKind::TaggedGshare}) {
-            const double hyb =
-                aggregateCells(store, cells, [&](const SweepCell &k) {
-                    return k.spec.prophet == p &&
-                           k.spec.prophetBudget == half &&
-                           k.spec.critic && *k.spec.critic == c;
-                }).mispPerKuops;
-            table.addRow({budgetName(half) + " " + prophetKindName(p) +
-                              " + " + budgetName(half) + " " +
-                              criticKindName(c),
-                          fmtDouble(hyb, 3),
-                          fmtDouble(pctReduction(conv, hyb), 1) + "%"});
-        }
-    }
-    std::cout << table.str() << "\n";
-}
-
-} // namespace
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Figure 7: conventional vs prophet/critic at "
-                 "matched budgets (8 future bits) ===\n"
-              << "metric: misp/Kuops averaged over the AVG set; paper "
-                 "reductions: 15-31%\n\n";
-    runBudget(Budget::B16KB, Budget::B8KB);
-    runBudget(Budget::B32KB, Budget::B16KB);
-    return 0;
+    return pcbp::figureMain("fig7", argc, argv);
 }

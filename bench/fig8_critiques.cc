@@ -1,72 +1,15 @@
 /**
  * @file
- * Reproduces Figure 8: the distribution of explicit critiques
- * (filter hits) for a 4KB perceptron prophet with an 8KB tagged
- * gshare critic, as the future-bit count varies over 1/4/8/12.
- *
- * Paper shapes: incorrect_disagree (the goal) outnumbers
- * correct_disagree (the worst case); from 1 to 12 future bits
- * incorrect_disagree grows (~+20%), correct_disagree shrinks
- * (~-40%), incorrect_agree shrinks (~-43%), and the total number of
- * explicit critiques falls (the filter grows more selective).
+ * Figure 8 (distribution of explicit critiques) as a thin wrapper
+ * over the figure registry (src/report/figures.cc; also `pcbp_repro
+ * run --figures fig8`). Accepts --workloads/--suite (incl.
+ * trace:<path>), --branches, --jobs, --quick.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/driver.hh"
-
-using namespace pcbp;
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto set = avgSet();
-    const std::vector<unsigned> future_bits = {1, 4, 8, 12};
-
-    std::cout << "=== Figure 8: distribution of critiques ===\n"
-              << "prophet: 4KB perceptron; critic: 8KB tagged gshare\n"
-              << "counts are summed over the AVG set ("
-              << set.size() << " workloads); filter misses (implicit "
-                 "agrees) are excluded, as in the paper\n\n";
-
-    TablePrinter table({"critique class", "1 fb", "4 fb", "8 fb",
-                        "12 fb", "paper trend 1->12"});
-
-    std::vector<CritiqueCounts> dist;
-    std::vector<std::uint64_t> totals;
-    for (unsigned fb : future_bits) {
-        const auto agg = runSetAggregated(
-            set, hybridSpec(ProphetKind::Perceptron, Budget::B4KB,
-                            CriticKind::TaggedGshare, Budget::B8KB, fb));
-        dist.push_back(agg.critiques);
-        totals.push_back(agg.critiques.explicitTotal());
-    }
-
-    const struct
-    {
-        CritiqueClass cls;
-        const char *trend;
-    } rows[] = {
-        {CritiqueClass::CorrectAgree, "majority, falls with total"},
-        {CritiqueClass::IncorrectDisagree, "grows (~+20%)"},
-        {CritiqueClass::IncorrectAgree, "shrinks (~-43%)"},
-        {CritiqueClass::CorrectDisagree, "shrinks (~-40%)"},
-    };
-    for (const auto &r : rows) {
-        std::vector<std::string> row = {critiqueClassName(r.cls)};
-        for (const auto &d : dist)
-            row.push_back(std::to_string(d.get(r.cls)));
-        row.push_back(r.trend);
-        table.addRow(row);
-    }
-    std::vector<std::string> total_row = {"total explicit critiques"};
-    for (auto t : totals)
-        total_row.push_back(std::to_string(t));
-    total_row.push_back("falls as fb grows");
-    table.addRow(total_row);
-
-    std::cout << table.str() << "\n";
-    return 0;
+    return pcbp::figureMain("fig8", argc, argv);
 }

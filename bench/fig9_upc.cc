@@ -1,64 +1,16 @@
 /**
  * @file
- * Reproduces Figure 9: average uPC of 16KB conventional predictors
- * versus 8KB+8KB prophet/critic hybrids (tagged gshare critic) at
- * 4, 8, and 12 future bits, on the cycle-level decoupled front-end
- * timing model.
- *
- * Paper numbers (on their Pentium-4-derived simulator): speedups
- * over the 16KB prophet alone of 4.7/3.4/2.7% at 4 future bits
- * (gshare/2Bc-gskew/perceptron) growing to 8/7/5.2% at 12. Our
- * absolute uPC is higher (ideal caches, no data-dependence stalls —
- * see DESIGN.md), but the ordering and growth with future bits are
- * the reproduction targets.
+ * Figure 9 (uPC of conventional predictors vs hybrids, cycle-level
+ * timing model) as a thin wrapper over the figure registry
+ * (src/report/figures.cc; also `pcbp_repro run --figures fig9`).
+ * Accepts --workloads/--suite (incl. trace:<path>), --branches,
+ * --jobs, --quick.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/driver.hh"
-
-using namespace pcbp;
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    // One workload per suite (the first), like the paper's one LIT
-    // per benchmark for performance runs.
-    std::vector<const Workload *> set;
-    for (const auto &suite : allSuites())
-        set.push_back(suiteWorkloads(suite).front());
-
-    std::cout << "=== Figure 9: uPC of conventional predictors vs "
-                 "8KB+8KB prophet/critic hybrids ===\n"
-              << "critic: tagged gshare; timing model: decoupled "
-                 "front-end, 6-uop machine, 30-cycle resolve\n\n";
-
-    TablePrinter table({"prophet", "16KB alone", "4 fb", "8 fb",
-                        "12 fb", "speedup @12fb"});
-
-    for (ProphetKind p : {ProphetKind::Gshare, ProphetKind::GSkew,
-                          ProphetKind::Perceptron}) {
-        const double alone =
-            meanUpc(runTimingSet(set, prophetAlone(p, Budget::B16KB)));
-        std::vector<std::string> row = {prophetKindName(p),
-                                        fmtDouble(alone, 3)};
-        double at12 = 0;
-        for (unsigned fb : {4u, 8u, 12u}) {
-            const double upc = meanUpc(runTimingSet(
-                set, hybridSpec(p, Budget::B8KB,
-                                CriticKind::TaggedGshare, Budget::B8KB,
-                                fb)));
-            row.push_back(fmtDouble(upc, 3));
-            at12 = upc;
-        }
-        row.push_back(fmtDouble(100.0 * (at12 / alone - 1.0), 1) + "%");
-        table.addRow(row);
-    }
-
-    std::cout << table.str()
-              << "\npaper speedups @12fb: gshare 8%, 2Bc-gskew 7%, "
-                 "perceptron 5.2%\n";
-    return 0;
+    return pcbp::figureMain("fig9", argc, argv);
 }

@@ -1,139 +1,16 @@
 /**
  * @file
- * Reproduces the paper's abstract/headline claims:
- *
- *  - an 8KB+8KB prophet/critic hybrid (2Bc-gskew + tagged gshare, 8
- *    future bits) has ~39% fewer mispredicts than a 16KB 2Bc-gskew
- *    (the EV8-style predictor);
- *  - the distance between pipeline flushes grows from one per 418
- *    uops to one per 680;
- *  - for gcc, the percentage of mispredicted branches drops from
- *    3.11% to 1.23%;
- *  - uPC improves by 7.8% and the number of uops fetched (correct +
- *    wrong path) drops by 8.6%.
+ * The paper's abstract/headline claims (accuracy, flush distance,
+ * per-workload mispredict percentage, uPC, fetch volume) as a thin
+ * wrapper over the figure registry (src/report/figures.cc; also
+ * `pcbp_repro run --figures headline`). Accepts --workloads/--suite
+ * (incl. trace:<path>), --branches, --jobs, --quick.
  */
 
-#include <iostream>
-
-#include "common/stats.hh"
-#include "sim/driver.hh"
-
-using namespace pcbp;
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto set = avgSet();
-    const auto conv = prophetAlone(ProphetKind::GSkew, Budget::B16KB);
-    const auto hyb =
-        hybridSpec(ProphetKind::GSkew, Budget::B8KB,
-                   CriticKind::TaggedGshare, Budget::B8KB, 8);
-
-    std::cout << "=== Headline claims: 16KB 2Bc-gskew vs 8KB+8KB "
-                 "2Bc-gskew + tagged gshare (8 fb) ===\n\n";
-
-    // Context for the reader: on this synthetic substrate the
-    // relay-compression channel needs a long-history prophet, so the
-    // perceptron pairing shows the paper's direction most clearly
-    // and the 2Bc-gskew pairing peaks at ~4 future bits (see
-    // EXPERIMENTS.md). Both are reported.
-
-    // --- accuracy / flush distance over the AVG set -------------
-    const auto conv_agg = runSetAggregated(set, conv);
-    const auto hyb_agg = runSetAggregated(set, hyb);
-
-    TablePrinter acc({"metric", "16KB 2Bc-gskew", "8KB+8KB hybrid",
-                      "change", "paper"});
-    acc.addRow({"misp/Kuops (AVG)", fmtDouble(conv_agg.mispPerKuops, 3),
-                fmtDouble(hyb_agg.mispPerKuops, 3),
-                fmtDouble(pctReduction(conv_agg.mispPerKuops,
-                                       hyb_agg.mispPerKuops),
-                          1) +
-                    "% fewer",
-                "39% fewer"});
-    acc.addRow({"uops per flush", fmtDouble(conv_agg.uopsPerFlush(), 0),
-                fmtDouble(hyb_agg.uopsPerFlush(), 0),
-                "x" + fmtDouble(hyb_agg.uopsPerFlush() /
-                                    conv_agg.uopsPerFlush(),
-                                2),
-                "418 -> 680 (x1.63)"});
-    std::cout << acc.str() << "\n";
-
-    // Substrate-strong pairings at the same total budget.
-    {
-        TablePrinter alt({"pairing (16KB total)", "misp/Kuops",
-                          "vs 16KB same-prophet alone"});
-        const auto gskew4 =
-            runSetAggregated(set, hybridSpec(ProphetKind::GSkew,
-                                             Budget::B8KB,
-                                             CriticKind::TaggedGshare,
-                                             Budget::B8KB, 4));
-        alt.addRow({"2Bc-gskew + t.gshare @4fb",
-                    fmtDouble(gskew4.mispPerKuops, 3),
-                    fmtDouble(pctReduction(conv_agg.mispPerKuops,
-                                           gskew4.mispPerKuops),
-                              1) +
-                        "%"});
-        const double perc_alone =
-            runSetAggregated(set, prophetAlone(ProphetKind::Perceptron,
-                                               Budget::B16KB))
-                .mispPerKuops;
-        const auto perc8 = runSetAggregated(
-            set, hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
-                            CriticKind::TaggedGshare, Budget::B8KB, 8));
-        alt.addRow({"perceptron + t.gshare @8fb",
-                    fmtDouble(perc8.mispPerKuops, 3),
-                    fmtDouble(pctReduction(perc_alone,
-                                           perc8.mispPerKuops),
-                              1) +
-                        "%"});
-        std::cout << alt.str() << "\n";
-    }
-
-    // --- gcc branch mispredict percentage ------------------------
-    const Workload &gcc = workloadByName("gcc");
-    const EngineStats gcc_conv = runAccuracy(gcc, conv);
-    const EngineStats gcc_hyb = runAccuracy(gcc, hyb);
-    TablePrinter gtab({"gcc metric", "16KB 2Bc-gskew", "8KB+8KB hybrid",
-                       "paper"});
-    gtab.addRow({"% branches mispredicted",
-                 fmtPercent(gcc_conv.mispRate(), 2),
-                 fmtPercent(gcc_hyb.mispRate(), 2), "3.11% -> 1.23%"});
-    std::cout << gtab.str() << "\n";
-
-    // --- timing: uPC and fetched uops ----------------------------
-    std::vector<const Workload *> perf_set;
-    for (const auto &suite : allSuites())
-        perf_set.push_back(suiteWorkloads(suite).front());
-
-    const auto conv_t = runTimingSet(perf_set, conv);
-    const auto hyb_t = runTimingSet(perf_set, hyb);
-
-    double conv_upc = meanUpc(conv_t), hyb_upc = meanUpc(hyb_t);
-    double conv_fetch = 0, hyb_fetch = 0, conv_commit = 0,
-           hyb_commit = 0;
-    for (std::size_t i = 0; i < conv_t.size(); ++i) {
-        conv_fetch += double(conv_t[i].fetchedUops);
-        hyb_fetch += double(hyb_t[i].fetchedUops);
-        conv_commit += double(conv_t[i].committedUops);
-        hyb_commit += double(hyb_t[i].committedUops);
-    }
-    // Normalize fetched uops per committed uop so the comparison is
-    // independent of run length.
-    const double conv_fpc = conv_fetch / conv_commit;
-    const double hyb_fpc = hyb_fetch / hyb_commit;
-
-    TablePrinter perf({"timing metric", "16KB 2Bc-gskew",
-                       "8KB+8KB hybrid", "change", "paper"});
-    perf.addRow({"uPC", fmtDouble(conv_upc, 3), fmtDouble(hyb_upc, 3),
-                 "+" + fmtDouble(100.0 * (hyb_upc / conv_upc - 1.0), 1) +
-                     "%",
-                 "+7.8%"});
-    perf.addRow({"fetched uops / committed uop", fmtDouble(conv_fpc, 3),
-                 fmtDouble(hyb_fpc, 3),
-                 fmtDouble(pctReduction(conv_fpc, hyb_fpc), 1) +
-                     "% fewer",
-                 "8.6% fewer"});
-    std::cout << perf.str() << "\n";
-    return 0;
+    return pcbp::figureMain("headline", argc, argv);
 }

@@ -1,76 +1,16 @@
 /**
  * @file
- * Reproduces Table 4: the percentage of prophet predictions that are
- * filtered (no explicit critique — a tag miss in the critic's
- * filter), split by whether the prophet's prediction was correct,
- * for a 4KB perceptron prophet with tagged gshare critics of 2KB,
- * 8KB, and 32KB, at 1/4/12 future bits.
- *
- * Paper shapes: roughly 2/3 to 3/4 of predictions are filtered —
- * i.e.\ the critic critiques about 1 of every 3 branches at 1 future
- * bit and 1 of every 4 at 12 (the filter grows more selective with
- * more future bits); the filtered-but-incorrect share stays around
- * a percent, falling slightly with critic size.
+ * Table 4 (percentage of prophet predictions filtered by the critic)
+ * as a thin wrapper over the figure registry (src/report/figures.cc;
+ * also `pcbp_repro run --figures table4`). Accepts
+ * --workloads/--suite (incl. trace:<path>), --branches, --jobs,
+ * --quick.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/driver.hh"
-
-using namespace pcbp;
+#include "report/repro.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto set = avgSet();
-    const std::vector<Budget> critic_sizes = {Budget::B2KB, Budget::B8KB,
-                                              Budget::B32KB};
-    const std::vector<unsigned> future_bits = {1, 4, 12};
-
-    std::cout << "=== Table 4: percentage of prophet predictions "
-                 "filtered by the critic ===\n"
-              << "prophet: 4KB perceptron; critic: tagged gshare; "
-                 "averaged over the AVG set\n\n";
-
-    std::vector<std::string> headers = {"row"};
-    for (Budget cb : critic_sizes)
-        for (unsigned fb : future_bits)
-            headers.push_back(budgetName(cb) + "/" +
-                              std::to_string(fb) + "fb");
-    TablePrinter table(headers);
-
-    std::vector<std::string> row_cn = {"% correct_none"};
-    std::vector<std::string> row_in = {"% incorrect_none"};
-    std::vector<std::string> row_tot = {"% none (total)"};
-
-    for (Budget cb : critic_sizes) {
-        for (unsigned fb : future_bits) {
-            const auto agg = runSetAggregated(
-                set, hybridSpec(ProphetKind::Perceptron, Budget::B4KB,
-                                CriticKind::TaggedGshare, cb, fb));
-            const double total =
-                static_cast<double>(agg.critiques.total());
-            const double cn = 100.0 *
-                double(agg.critiques.get(CritiqueClass::CorrectNone)) /
-                total;
-            const double in = 100.0 *
-                double(agg.critiques.get(
-                    CritiqueClass::IncorrectNone)) /
-                total;
-            row_cn.push_back(fmtDouble(cn, 1));
-            row_in.push_back(fmtDouble(in, 1));
-            row_tot.push_back(fmtDouble(cn + in, 1));
-        }
-    }
-    table.addRow(row_cn);
-    table.addRow(row_in);
-    table.addRow(row_tot);
-
-    std::cout << table.str()
-              << "\npaper: total %none is ~66-78 and generally rises "
-                 "with future bits;\nincorrect_none stays ~0.4-1.3 and "
-                 "falls with critic size\n";
-    return 0;
+    return pcbp::figureMain("table4", argc, argv);
 }

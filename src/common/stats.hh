@@ -114,6 +114,13 @@ std::string fmtDouble(double v, int digits = 3);
 /** Format a percentage (0.1234 -> "12.3%"). */
 std::string fmtPercent(double frac, int digits = 1);
 
+/**
+ * Escape a string for embedding in a JSON string literal (quotes,
+ * backslashes, newlines, tabs) — shared by the result store's JSONL
+ * and the report renderers.
+ */
+std::string jsonEscape(const std::string &s);
+
 } // namespace pcbp
 
 #endif // PCBP_COMMON_STATS_HH

@@ -80,22 +80,29 @@ parseCriticKind(const std::string &s)
 }
 
 FilteredPredictorPtr
-makeCritic(CriticKind kind, Budget b)
+makeCritic(CriticKind kind, Budget b, unsigned filter_tag_bits)
 {
     const std::size_t i = static_cast<std::size_t>(b);
     switch (kind) {
       case CriticKind::TaggedGshare:
-        return std::make_unique<TaggedGshare>(tgshareSets[i], tgshareWays,
-                                              tgshareTagBits,
-                                              tgshareBorBits);
+        return std::make_unique<TaggedGshare>(
+            tgshareSets[i], tgshareWays,
+            filter_tag_bits ? filter_tag_bits : tgshareTagBits,
+            tgshareBorBits);
       case CriticKind::FilteredPerceptron:
         return std::make_unique<FilteredPerceptron>(
             fpercCount[i], fpercHistory[i], fpercFilterSets[i],
-            fpercFilterWays, fpercTagBits, fpercFilterBorBits);
+            fpercFilterWays,
+            filter_tag_bits ? filter_tag_bits : fpercTagBits,
+            fpercFilterBorBits);
       case CriticKind::UnfilteredPerceptron:
+        if (filter_tag_bits)
+            pcbp_fatal("u.perceptron has no filter tags to override");
         return std::make_unique<UnfilteredCritic>(
             std::make_unique<Perceptron>(upercCount[i], upercHistory[i]));
       case CriticKind::UnfilteredGshare:
+        if (filter_tag_bits)
+            pcbp_fatal("u.gshare has no filter tags to override");
         return std::make_unique<UnfilteredCritic>(
             std::make_unique<Gshare>(ugshareEntries[i],
                                      ugshareHistory[i]));

@@ -34,8 +34,15 @@ std::string criticKindName(CriticKind k);
 /** Parse a critic kind name (fatal on unknown). */
 CriticKind parseCriticKind(const std::string &s);
 
-/** Build a critic configured per Table 3 for the given budget. */
-FilteredPredictorPtr makeCritic(CriticKind kind, Budget b);
+/**
+ * Build a critic configured per Table 3 for the given budget. The
+ * returned critic is fully owned and freshly initialized (no shared
+ * tables between instances). @p filter_tag_bits overrides the filter
+ * tag width for the §4 ablation; 0 keeps the Table-3 default, and
+ * the override is fatal for unfiltered critics (they have no tags).
+ */
+FilteredPredictorPtr makeCritic(CriticKind kind, Budget b,
+                                unsigned filter_tag_bits = 0);
 
 /**
  * Build a full prophet/critic hybrid:

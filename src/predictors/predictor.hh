@@ -14,6 +14,20 @@
  *   provide a critique (tag miss in its filter, §4). Its history
  *   input is the branch outcome register (BOR), which contains both
  *   history and future bits.
+ *
+ * Ownership and lifetime: predictors are built by the factories
+ * (makeProphet / makeCritic) as unique_ptrs and owned by exactly one
+ * ProphetCriticHybrid (or test); they hold no references to the
+ * caller's state — the HistoryRegister is passed into every call and
+ * never retained. Instances are not thread-safe and are never
+ * shared: parallel layers (driver sets, the sweep runner) build one
+ * predictor per run from the spec instead.
+ *
+ * Determinism contract: predict/update/critique/train are pure
+ * functions of (construction parameters, call sequence). No
+ * predictor may read clocks, RNGs, or global state, which is what
+ * lets golden tests pin exact counts and the sweep/report layers
+ * promise byte-identical results for any execution order.
  */
 
 #ifndef PCBP_PREDICTORS_PREDICTOR_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The paper-figure registry: every reproduced figure/table of the
+ * paper as a declarative definition instead of a bespoke
+ * main()-with-printf bench binary.
+ *
+ * A FigureDef names the claim (what the paper says), the grids that
+ * measure it (SweepSpecs over the sweep runner + ResultStore), and a
+ * render function that slices the completed store into ReportTables.
+ * The split matters for the reproduction contract:
+ *
+ *  - sweeps() is a pure function of the options, so the same options
+ *    always name the same grid — which is what makes a run resumable
+ *    (cell keys match across invocations) and byte-deterministic
+ *    (the runner's any-`--jobs` contract applies unchanged);
+ *  - render() reads only the store, so re-rendering a completed
+ *    store reproduces the report without re-simulating anything.
+ *
+ * Figure definitions are stateless and registered for the life of
+ * the process; FigureDef pointers returned by the registry never
+ * dangle. Every figure accepts workload overrides (suites, workload
+ * names, trace:<path> files), so a reproduction extends to any
+ * workload the registry can name — the ROADMAP's scale goal.
+ */
+
+#ifndef PCBP_REPORT_FIGURE_HH
+#define PCBP_REPORT_FIGURE_HH
+
+#include <string>
+#include <vector>
+
+#include "report/table.hh"
+#include "sweep/runner.hh"
+
+namespace pcbp
+{
+
+/** What a figure runs over; shared by all figure definitions. */
+struct FigureOptions
+{
+    /**
+     * Workload selector override (suite names, workload names,
+     * trace:<path>); empty keeps the figure's paper-default set.
+     * Figures that report per-suite rows report per-selector rows
+     * when overridden.
+     */
+    std::vector<std::string> workloads;
+
+    /**
+     * Measured branches per cell (warmup = a tenth); 0 keeps each
+     * workload's default budget. PCBP_BENCH_SCALE applies either
+     * way.
+     */
+    std::uint64_t branches = 0;
+
+    /** True when the paper-default workload set is in effect. */
+    bool defaultWorkloads() const { return workloads.empty(); }
+};
+
+/** One reproduced paper figure or table. */
+struct FigureDef
+{
+    /** Registry id and filename stem, e.g. "fig5". */
+    std::string id;
+
+    /** Paper reference, e.g. "Figure 5" or "Table 4". */
+    std::string paperRef;
+
+    /** Short title, e.g. "effect of the number of future bits". */
+    std::string title;
+
+    /** The paper's claim this figure reproduces (for the report). */
+    std::string claim;
+
+    /** Expected qualitative result on the seed suites. */
+    std::string expected;
+
+    /** The declarative grids that measure the figure. */
+    std::vector<SweepSpec> (*sweeps)(const FigureOptions &);
+
+    /**
+     * Slice a store holding every cell of sweeps(opts) into report
+     * tables (fatal if a needed cell was never run).
+     */
+    std::vector<ReportTable> (*render)(const FigureOptions &,
+                                       const ResultStore &);
+};
+
+/** Every registered figure, in paper order. */
+const std::vector<FigureDef> &allFigures();
+
+/** Find by id; fatal on unknown, listing the known ids. */
+const FigureDef &figureById(const std::string &id);
+
+/**
+ * Resolve a comma-free id list ("all" or registry ids) into figure
+ * definitions, preserving registry order and dropping duplicates.
+ */
+std::vector<const FigureDef *>
+figuresByIds(const std::vector<std::string> &ids);
+
+} // namespace pcbp
+
+#endif // PCBP_REPORT_FIGURE_HH

@@ -1,0 +1,158 @@
+#include "report/table.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace pcbp
+{
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+mdEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '|')
+            out += "\\|";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+ReportTable::ReportTable(std::string id, std::string title,
+                         std::vector<std::string> columns)
+    : tableId(std::move(id)), tableTitle(std::move(title)),
+      head(std::move(columns))
+{
+    pcbp_assert(!head.empty(), "report table needs columns");
+}
+
+void
+ReportTable::addNote(std::string note)
+{
+    noteLines.push_back(std::move(note));
+}
+
+void
+ReportTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != head.size())
+        pcbp_fatal("report table '", tableId, "': row width ",
+                   cells.size(), " != header width ", head.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+ReportTable::toMarkdown() const
+{
+    std::ostringstream os;
+    os << "**" << tableTitle << "**\n";
+    for (std::size_t i = 0; i < noteLines.size(); ++i)
+        os << noteLines[i]
+           << (i + 1 < noteLines.size() ? "\\\n" : "\n");
+    os << "\n";
+
+    os << "|";
+    for (const auto &c : head)
+        os << " " << mdEscape(c) << " |";
+    os << "\n|";
+    for (std::size_t i = 0; i < head.size(); ++i)
+        os << (i == 0 ? " :--- |" : " ---: |");
+    os << "\n";
+    for (const auto &row : body) {
+        os << "|";
+        for (const auto &cell : row)
+            os << " " << mdEscape(cell) << " |";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+ReportTable::toCsv() const
+{
+    std::ostringstream os;
+    os << "# " << tableId << ": " << tableTitle << "\n";
+    for (std::size_t i = 0; i < head.size(); ++i)
+        os << (i ? "," : "") << csvEscape(head[i]);
+    os << "\n";
+    for (const auto &row : body) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << csvEscape(row[i]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+ReportTable::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"id\":\"" << jsonEscape(tableId) << "\",\"title\":\""
+       << jsonEscape(tableTitle) << "\",\"notes\":[";
+    for (std::size_t i = 0; i < noteLines.size(); ++i)
+        os << (i ? "," : "") << "\"" << jsonEscape(noteLines[i])
+           << "\"";
+    os << "],\"columns\":[";
+    for (std::size_t i = 0; i < head.size(); ++i)
+        os << (i ? "," : "") << "\"" << jsonEscape(head[i]) << "\"";
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < body.size(); ++r) {
+        os << (r ? "," : "") << "[";
+        for (std::size_t i = 0; i < body[r].size(); ++i)
+            os << (i ? "," : "") << "\"" << jsonEscape(body[r][i])
+               << "\"";
+        os << "]";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+tablesToCsv(const std::vector<ReportTable> &tables)
+{
+    std::string out;
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        if (i)
+            out += "\n";
+        out += tables[i].toCsv();
+    }
+    return out;
+}
+
+std::string
+tablesToJson(const std::vector<ReportTable> &tables)
+{
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        out += "  " + tables[i].toJson();
+        out += i + 1 < tables.size() ? ",\n" : "\n";
+    }
+    out += "]\n";
+    return out;
+}
+
+} // namespace pcbp

@@ -29,7 +29,9 @@ HybridSpec::build() const
     cfg.repairHistory = repairHistory;
     return std::make_unique<ProphetCriticHybrid>(
         makeProphet(prophet, prophetBudget),
-        critic ? makeCritic(*critic, criticBudget) : nullptr, cfg);
+        critic ? makeCritic(*critic, criticBudget, filterTagBits)
+               : nullptr,
+        cfg);
 }
 
 HybridSpec
@@ -165,9 +167,16 @@ timingConfigFor(const Workload &w)
 TimingStats
 runTiming(const Workload &w, const HybridSpec &spec)
 {
+    return runTiming(w, spec, timingConfigFor(w));
+}
+
+TimingStats
+runTiming(const Workload &w, const HybridSpec &spec,
+          const TimingConfig &config)
+{
     Program program = buildProgram(w);
     auto hybrid = spec.build();
-    TimingSim sim(program, *hybrid, timingConfigFor(w));
+    TimingSim sim(program, *hybrid, config);
     if (!w.tracePath.empty()) {
         TraceFileStream stream(w.tracePath);
         return sim.run(stream);

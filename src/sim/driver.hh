@@ -21,7 +21,14 @@
 namespace pcbp
 {
 
-/** A full predictor configuration under test. */
+/**
+ * A full predictor configuration under test.
+ *
+ * A HybridSpec is a pure value: build() constructs a fresh, fully
+ * owned predictor every time, so two runs of the same spec share no
+ * state and a spec can be copied freely across threads (the sweep
+ * runner depends on this for its any-`--jobs` determinism contract).
+ */
 struct HybridSpec
 {
     ProphetKind prophet = ProphetKind::Perceptron;
@@ -36,6 +43,13 @@ struct HybridSpec
     /** Ablation knobs (§3.2 / §3.3); both on in the paper's design. */
     bool speculativeHistory = true;
     bool repairHistory = true;
+
+    /**
+     * Ablation knob (§4): override the critic filter's tag width
+     * (paper: 8-10 bits suffice). 0 keeps the Table-3 default; only
+     * meaningful for filtered critics (t.gshare, f.perceptron).
+     */
+    unsigned filterTagBits = 0;
 
     /** Human-readable label, e.g.\ "8KB perceptron + 8KB t.gshare". */
     std::string label() const;
@@ -96,6 +110,10 @@ TimingConfig timingConfigFor(const Workload &w);
 
 /** Run one workload through the cycle-level timing model. */
 TimingStats runTiming(const Workload &w, const HybridSpec &spec);
+
+/** Run the timing model with explicit configuration (sweep cells). */
+TimingStats runTiming(const Workload &w, const HybridSpec &spec,
+                      const TimingConfig &config);
 
 /**
  * Run a workload set through the timing model in parallel; returns

@@ -30,6 +30,20 @@
  * backing instruction window, and which cycles anything costs — is
  * caller policy layered on these primitives. Per-model state rides
  * along in the Payload type parameter. See DESIGN.md §4.
+ *
+ * Ownership and lifetime: a SpecCore borrows everything it is
+ * constructed over — the Program, the ProphetCriticHybrid, and the
+ * optional CommitSink are owned by the caller and must outlive the
+ * core; the core owns only its queue, BTB tables, and scratch
+ * buffers. One core drives one simulation on one thread.
+ *
+ * Determinism contract: given the same program, predictor state, and
+ * call sequence, every SpecCore operation is bit-reproducible — no
+ * clocks, RNG draws, or allocation-dependent behavior on the
+ * protocol path. Commit events fire strictly in commit order
+ * (warmup included; consumers filter), which is what the
+ * differential tests and the sweep/report byte-determinism
+ * guarantees are built on.
  */
 
 #ifndef PCBP_SIM_SPEC_CORE_HH

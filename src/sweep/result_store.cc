@@ -13,19 +13,6 @@ namespace pcbp
 namespace
 {
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
 /**
  * Minimal extraction from the store's own flat JSONL lines (string /
  * integer / flat-array fields only — not a general JSON parser).
@@ -63,6 +50,23 @@ class FieldReader
         std::size_t at = pos(field);
         if (bad)
             return 0;
+        return number(at);
+    }
+
+    /**
+     * Like getUint, but an absent field yields @p fallback instead
+     * of failure — for fields added after stores already existed on
+     * disk (a present-but-garbled value still fails). Keeps the
+     * resume compatibility the cell-key suffix design promises.
+     */
+    std::uint64_t
+    getUintOr(const char *field, std::uint64_t fallback)
+    {
+        if (bad)
+            return 0;
+        std::size_t at = find(field);
+        if (at == std::string::npos)
+            return fallback;
         return number(at);
     }
 
@@ -110,19 +114,28 @@ class FieldReader
         return v;
     }
 
+    /** Index just past `"field":`, or npos when absent. */
     std::size_t
-    pos(const char *field)
+    find(const char *field)
     {
         const std::string needle =
             std::string("\"") + field + "\":";
         const auto at = line.find(needle);
         if (at == std::string::npos)
-            return fail<std::size_t>();
+            return std::string::npos;
         // Fields are always followed by a value character, so this
         // index is in range unless the line is torn (then the value
         // reader trips on it).
         return at + needle.size() < line.size() ? at + needle.size()
-                                                : fail<std::size_t>();
+                                                : std::string::npos;
+    }
+
+    /** Like find(), but absence is a failure. */
+    std::size_t
+    pos(const char *field)
+    {
+        const std::size_t at = find(field);
+        return at == std::string::npos ? fail<std::size_t>() : at;
     }
 
     const std::string &line;
@@ -133,8 +146,12 @@ class FieldReader
 
 // -------------------------------------------------------- CellResult
 
+namespace
+{
+
+/** The cell-coordinate columns shared by both run kinds. */
 CellResult
-CellResult::fromRun(const SweepCell &cell, const EngineStats &stats)
+cellCoordinates(const SweepCell &cell)
 {
     CellResult r;
     r.key = cell.key();
@@ -150,7 +167,21 @@ CellResult::fromRun(const SweepCell &cell, const EngineStats &stats)
     r.futureBits = cell.spec.critic ? cell.spec.futureBits : 0;
     r.speculativeHistory = cell.spec.speculativeHistory;
     r.repairHistory = cell.spec.repairHistory;
+    r.filterTagBits = cell.spec.filterTagBits;
+    r.oracleFutureBits = cell.oracleFutureBits;
+    r.timing = cell.timing;
     r.measureBranches = cell.measureBranches;
+    return r;
+}
+
+} // namespace
+
+CellResult
+CellResult::fromRun(const SweepCell &cell, const EngineStats &stats)
+{
+    CellResult r = cellCoordinates(cell);
+    pcbp_assert(!cell.timing,
+                "timing cells persist through fromTimingRun");
 
     r.committedBranches = stats.committedBranches;
     r.committedUops = stats.committedUops;
@@ -163,6 +194,26 @@ CellResult::fromRun(const SweepCell &cell, const EngineStats &stats)
     r.wrongPathUops = stats.wrongPathUops;
     r.partialCritiques = stats.partialCritiques;
     r.critiques = stats.critiques;
+    return r;
+}
+
+CellResult
+CellResult::fromTimingRun(const SweepCell &cell,
+                          const TimingStats &stats)
+{
+    CellResult r = cellCoordinates(cell);
+    pcbp_assert(cell.timing,
+                "accuracy cells persist through fromRun");
+
+    r.committedBranches = stats.committedBranches;
+    r.committedUops = stats.committedUops;
+    r.finalMispredicts = stats.finalMispredicts;
+    r.criticOverrides = stats.criticOverrides;
+    r.squashedPredictions = stats.ftqEntriesFlushedByCritic;
+    r.wrongPathUops = stats.wrongPathFetchedUops;
+    r.partialCritiques = stats.partialCritiques;
+    r.cycles = stats.cycles;
+    r.fetchedUops = stats.fetchedUops;
     return r;
 }
 
@@ -184,6 +235,22 @@ CellResult::toEngineStats() const
     return s;
 }
 
+TimingStats
+CellResult::toTimingStats() const
+{
+    TimingStats s;
+    s.cycles = cycles;
+    s.committedUops = committedUops;
+    s.committedBranches = committedBranches;
+    s.finalMispredicts = finalMispredicts;
+    s.fetchedUops = fetchedUops;
+    s.wrongPathFetchedUops = wrongPathUops;
+    s.criticOverrides = criticOverrides;
+    s.ftqEntriesFlushedByCritic = squashedPredictions;
+    s.partialCritiques = partialCritiques;
+    return s;
+}
+
 std::string
 CellResult::toJson() const
 {
@@ -197,6 +264,9 @@ CellResult::toJson() const
        << ",\"future_bits\":" << futureBits
        << ",\"spec_history\":" << (speculativeHistory ? 1 : 0)
        << ",\"repair_history\":" << (repairHistory ? 1 : 0)
+       << ",\"filter_tag_bits\":" << filterTagBits
+       << ",\"oracle\":" << (oracleFutureBits ? 1 : 0)
+       << ",\"timing\":" << (timing ? 1 : 0)
        << ",\"measure_branches\":" << measureBranches
        << ",\"committed_branches\":" << committedBranches
        << ",\"committed_uops\":" << committedUops
@@ -208,6 +278,8 @@ CellResult::toJson() const
        << ",\"wrong_path_branches\":" << wrongPathBranches
        << ",\"wrong_path_uops\":" << wrongPathUops
        << ",\"partial_critiques\":" << partialCritiques
+       << ",\"cycles\":" << cycles
+       << ",\"fetched_uops\":" << fetchedUops
        << ",\"critiques\":[";
     for (std::size_t c = 0; c < numCritiqueClasses; ++c)
         os << (c ? "," : "") << critiques.counts[c];
@@ -237,6 +309,13 @@ CellResult::tryFromJson(const std::string &line, CellResult &r)
     r.futureBits = static_cast<unsigned>(in.getUint("future_bits"));
     r.speculativeHistory = in.getUint("spec_history") != 0;
     r.repairHistory = in.getUint("repair_history") != 0;
+    // Post-introduction fields (timing mode, ablation axes): absent
+    // in stores written before they existed, whose cells are all
+    // accuracy-mode with default knobs — exactly the fallbacks.
+    r.filterTagBits =
+        static_cast<unsigned>(in.getUintOr("filter_tag_bits", 0));
+    r.oracleFutureBits = in.getUintOr("oracle", 0) != 0;
+    r.timing = in.getUintOr("timing", 0) != 0;
     r.measureBranches = in.getUint("measure_branches");
     r.committedBranches = in.getUint("committed_branches");
     r.committedUops = in.getUint("committed_uops");
@@ -248,6 +327,8 @@ CellResult::tryFromJson(const std::string &line, CellResult &r)
     r.wrongPathBranches = in.getUint("wrong_path_branches");
     r.wrongPathUops = in.getUint("wrong_path_uops");
     r.partialCritiques = in.getUint("partial_critiques");
+    r.cycles = in.getUintOr("cycles", 0);
+    r.fetchedUops = in.getUintOr("fetched_uops", 0);
     const auto crit = in.getArray("critiques");
     if (in.failed() || crit.size() != numCritiqueClasses)
         return false;
@@ -356,7 +437,22 @@ ResultStore::statsFor(const SweepCell &cell) const
     const CellResult *r = find(cell.key());
     if (!r)
         pcbp_fatal("result store: no result for cell ", cell.key());
+    if (r->timing)
+        pcbp_fatal("result store: cell ", cell.key(),
+                   " holds timing stats; use timingStatsFor");
     return r->toEngineStats();
+}
+
+TimingStats
+ResultStore::timingStatsFor(const SweepCell &cell) const
+{
+    const CellResult *r = find(cell.key());
+    if (!r)
+        pcbp_fatal("result store: no result for cell ", cell.key());
+    if (!r->timing)
+        pcbp_fatal("result store: cell ", cell.key(),
+                   " holds accuracy stats; use statsFor");
+    return r->toTimingStats();
 }
 
 void
@@ -382,11 +478,12 @@ ResultStore::exportCsv(const std::vector<CellResult> &results)
 {
     std::ostringstream os;
     os << "workload,suite,prophet,critic,future_bits,spec_history,"
-          "repair_history,measure_branches,committed_branches,"
+          "repair_history,filter_tag_bits,oracle,mode,"
+          "measure_branches,committed_branches,"
           "committed_uops,final_mispredicts,prophet_mispredicts,"
           "misp_per_kuops,misp_rate,prophet_misp_rate,btb_misses,"
           "critic_overrides,squashed_predictions,wrong_path_branches,"
-          "wrong_path_uops,partial_critiques";
+          "wrong_path_uops,partial_critiques,cycles,fetched_uops,upc";
     for (std::size_t c = 0; c < numCritiqueClasses; ++c)
         os << ","
            << critiqueClassName(static_cast<CritiqueClass>(c));
@@ -396,7 +493,10 @@ ResultStore::exportCsv(const std::vector<CellResult> &results)
         os << r.workload << ',' << r.suite << ',' << r.prophet << ','
            << r.critic << ',' << r.futureBits << ','
            << (r.speculativeHistory ? 1 : 0) << ','
-           << (r.repairHistory ? 1 : 0) << ',' << r.measureBranches
+           << (r.repairHistory ? 1 : 0) << ',' << r.filterTagBits
+           << ',' << (r.oracleFutureBits ? 1 : 0) << ','
+           << (r.timing ? "timing" : "accuracy") << ','
+           << r.measureBranches
            << ',' << r.committedBranches << ',' << r.committedUops
            << ',' << r.finalMispredicts << ',' << r.prophetMispredicts
            << ',' << fmtDouble(s.mispPerKuops(), 6) << ','
@@ -404,7 +504,8 @@ ResultStore::exportCsv(const std::vector<CellResult> &results)
            << fmtDouble(s.prophetMispRate(), 6) << ',' << r.btbMisses
            << ',' << r.criticOverrides << ',' << r.squashedPredictions
            << ',' << r.wrongPathBranches << ',' << r.wrongPathUops
-           << ',' << r.partialCritiques;
+           << ',' << r.partialCritiques << ',' << r.cycles << ','
+           << r.fetchedUops << ',' << fmtDouble(r.upc(), 6);
         for (std::size_t c = 0; c < numCritiqueClasses; ++c)
             os << ',' << r.critiques.counts[c];
         os << "\n";

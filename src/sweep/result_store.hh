@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/engine.hh"
+#include "sim/timing.hh"
 #include "sweep/sweep_spec.hh"
 
 namespace pcbp
@@ -42,10 +43,15 @@ struct CellResult
     unsigned futureBits = 0;
     bool speculativeHistory = true;
     bool repairHistory = true;
+    unsigned filterTagBits = 0;  // 0 = Table-3 default
+    bool oracleFutureBits = false;
+    bool timing = false;         // timing-model cell (uPC counters)
     std::uint64_t measureBranches = 0;
 
     // The persisted subset of EngineStats (everything aggregate()
-    // and the exports consume).
+    // and the exports consume). Timing cells fill the shared subset
+    // (committed*/finalMispredicts/criticOverrides/...) plus the
+    // cycle counters below.
     std::uint64_t committedBranches = 0;
     std::uint64_t committedUops = 0;
     std::uint64_t finalMispredicts = 0;
@@ -58,12 +64,30 @@ struct CellResult
     std::uint64_t partialCritiques = 0;
     CritiqueCounts critiques;
 
-    /** Build from a finished cell run. */
+    // Timing-model counters (zero for accuracy cells).
+    std::uint64_t cycles = 0;
+    std::uint64_t fetchedUops = 0;
+
+    /** Build from a finished accuracy-engine cell run. */
     static CellResult fromRun(const SweepCell &cell,
                               const EngineStats &stats);
 
+    /** Build from a finished timing-model cell run. */
+    static CellResult fromTimingRun(const SweepCell &cell,
+                                    const TimingStats &stats);
+
+    /** Uops per cycle (timing cells; 0 for accuracy cells). */
+    double upc() const
+    {
+        return cycles == 0 ? 0.0
+                           : double(committedUops) / double(cycles);
+    }
+
     /** Rehydrate the persisted counters into an EngineStats. */
     EngineStats toEngineStats() const;
+
+    /** Rehydrate a timing cell's counters into a TimingStats. */
+    TimingStats toTimingStats() const;
 
     /** One JSONL line (no trailing newline). */
     std::string toJson() const;
@@ -93,8 +117,14 @@ class ResultStore
     /** Lookup by content key; nullptr if absent. */
     const CellResult *find(const std::string &key) const;
 
-    /** Stats for @p cell (fatal if absent — run the sweep first). */
+    /**
+     * Engine stats for an accuracy cell (fatal if absent — run the
+     * sweep first — or if the cell ran under the timing model).
+     */
     EngineStats statsFor(const SweepCell &cell) const;
+
+    /** Timing stats for a timing cell (fatal if absent/accuracy). */
+    TimingStats timingStatsFor(const SweepCell &cell) const;
 
     /** Record a result: appends to the file and the in-memory view. */
     void put(CellResult r);

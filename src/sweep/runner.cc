@@ -33,7 +33,7 @@ runSweep(const SweepSpec &spec, ResultStore &store,
     // Workers drop finished cells into `results`; the flush cursor
     // advances over the completed prefix so the store only ever sees
     // results in cell order, whatever order the pool finishes them.
-    std::vector<EngineStats> results(pending.size());
+    std::vector<CellResult> results(pending.size());
     std::vector<bool> done(pending.size(), false);
     std::size_t cursor = 0;
     std::mutex flushMutex;
@@ -41,15 +41,20 @@ runSweep(const SweepSpec &spec, ResultStore &store,
     ThreadPool pool(opt.jobs);
     pool.parallelFor(pending.size(), [&](std::size_t i) {
         const SweepCell &cell = *pending[i];
-        const EngineStats stats =
-            runAccuracy(*cell.workload, cell.spec, cell.engineConfig());
+        CellResult result =
+            cell.timing
+                ? CellResult::fromTimingRun(
+                      cell, runTiming(*cell.workload, cell.spec,
+                                      cell.timingConfig()))
+                : CellResult::fromRun(
+                      cell, runAccuracy(*cell.workload, cell.spec,
+                                        cell.engineConfig()));
 
         std::lock_guard<std::mutex> lk(flushMutex);
-        results[i] = stats;
+        results[i] = std::move(result);
         done[i] = true;
         while (cursor < pending.size() && done[cursor]) {
-            store.put(CellResult::fromRun(*pending[cursor],
-                                          results[cursor]));
+            store.put(results[cursor]);
             if (opt.onCellDone)
                 opt.onCellDone(*pending[cursor], results[cursor]);
             ++cursor;
@@ -71,6 +76,20 @@ aggregateCells(const ResultStore &store,
     if (runs.empty())
         pcbp_fatal("aggregateCells: no cells matched");
     return aggregate(runs);
+}
+
+double
+meanUpcCells(const ResultStore &store,
+             const std::vector<SweepCell> &cells,
+             const std::function<bool(const SweepCell &)> &pred)
+{
+    std::vector<TimingStats> runs;
+    for (const SweepCell &cell : cells)
+        if (pred(cell))
+            runs.push_back(store.timingStatsFor(cell));
+    if (runs.empty())
+        pcbp_fatal("meanUpcCells: no cells matched");
+    return meanUpc(runs);
 }
 
 } // namespace pcbp

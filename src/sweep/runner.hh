@@ -41,7 +41,7 @@ struct SweepRunOptions
     std::size_t maxCells = 0;
 
     /** Per-cell progress callback (invoked in flush order). */
-    std::function<void(const SweepCell &, const EngineStats &)>
+    std::function<void(const SweepCell &, const CellResult &)>
         onCellDone;
 };
 
@@ -52,7 +52,12 @@ struct SweepRunSummary
     std::size_t executedCells = 0; ///< newly computed this run
 };
 
-/** Run @p spec against @p store; see the determinism contract above. */
+/**
+ * Run @p spec against @p store; see the determinism contract above.
+ * Cells of a `mode = timing` grid run through the cycle-level
+ * TimingSim instead of the accuracy engine; both kinds persist as
+ * CellResults in the same store.
+ */
 SweepRunSummary runSweep(const SweepSpec &spec, ResultStore &store,
                          const SweepRunOptions &opt = {});
 
@@ -62,6 +67,15 @@ SweepRunSummary runSweep(const SweepSpec &spec, ResultStore &store,
  * nothing matches or a matching cell was never run).
  */
 AggregateResult aggregateCells(
+    const ResultStore &store, const std::vector<SweepCell> &cells,
+    const std::function<bool(const SweepCell &)> &pred);
+
+/**
+ * Arithmetic mean of per-cell uPC over every timing cell matching
+ * @p pred (fatal if nothing matches or a matching cell was never
+ * run) — how the timing figures (Figs. 9-10) slice their grids.
+ */
+double meanUpcCells(
     const ResultStore &store, const std::vector<SweepCell> &cells,
     const std::function<bool(const SweepCell &)> &pred);
 

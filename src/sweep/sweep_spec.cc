@@ -65,6 +65,13 @@ criticAxisName(const std::optional<CriticKind> &c)
     return c ? criticKindName(*c) : "none";
 }
 
+bool
+criticHasFilter(const std::optional<CriticKind> &c)
+{
+    return c && (*c == CriticKind::TaggedGshare ||
+                 *c == CriticKind::FilteredPerceptron);
+}
+
 } // namespace
 
 // --------------------------------------------------------- SweepCell
@@ -82,6 +89,14 @@ SweepCell::key() const
        << ";sh=" << (spec.speculativeHistory ? 1 : 0)
        << ";rh=" << (spec.repairHistory ? 1 : 0)
        << ";mb=" << measureBranches << ";wb=" << warmupBranches;
+    // Non-default knobs append so plain accuracy-grid keys (and
+    // stores written before these knobs existed) are unchanged.
+    if (spec.filterTagBits)
+        os << ";tb=" << spec.filterTagBits;
+    if (oracleFutureBits)
+        os << ";ofb=1";
+    if (timing)
+        os << ";md=t";
     return os.str();
 }
 
@@ -101,6 +116,16 @@ EngineConfig
 SweepCell::engineConfig() const
 {
     EngineConfig cfg = engineConfigFor(*workload);
+    cfg.measureBranches = measureBranches;
+    cfg.warmupBranches = warmupBranches;
+    cfg.oracleFutureBits = oracleFutureBits;
+    return cfg;
+}
+
+TimingConfig
+SweepCell::timingConfig() const
+{
+    TimingConfig cfg = timingConfigFor(*workload);
     cfg.measureBranches = measureBranches;
     cfg.warmupBranches = warmupBranches;
     return cfg;
@@ -173,6 +198,25 @@ SweepSpec::parse(const std::string &text)
             for (const auto &s : items)
                 spec.axes.repairHistory.push_back(
                     parseOnOff(s, "repair_history"));
+        } else if (key == "filter_tag_bits") {
+            spec.axes.filterTagBits.clear();
+            for (const auto &s : items)
+                spec.axes.filterTagBits.push_back(static_cast<unsigned>(
+                    parseUint(s, lineno, "filter_tag_bits")));
+        } else if (key == "oracle") {
+            spec.axes.oracleFutureBits.clear();
+            for (const auto &s : items)
+                spec.axes.oracleFutureBits.push_back(
+                    parseOnOff(s, "oracle"));
+        } else if (key == "mode") {
+            if (value == "timing")
+                spec.timing = true;
+            else if (value == "accuracy")
+                spec.timing = false;
+            else
+                pcbp_fatal("sweep: line ", lineno, ": bad value '",
+                           value, "' for 'mode' (expected "
+                           "accuracy/timing)");
         } else if (key == "branches") {
             spec.branches = parseUint(value, lineno, "branches");
         } else if (key == "workloads") {
@@ -181,8 +225,8 @@ SweepSpec::parse(const std::string &text)
             pcbp_fatal("sweep: line ", lineno, ": unknown key '", key,
                        "' (known: name, prophet, prophet_budget, "
                        "critic, critic_budget, future_bits, "
-                       "spec_history, repair_history, branches, "
-                       "workloads)");
+                       "spec_history, repair_history, filter_tag_bits, "
+                       "oracle, mode, branches, workloads)");
         }
     }
     if (spec.workloads.empty())
@@ -215,7 +259,7 @@ SweepSpec::serialize() const
     };
 
     std::vector<std::string> prophets, pbudgets, critics, cbudgets, fbs,
-        shs, rhs;
+        shs, rhs, tbs, oracles;
     for (const auto k : axes.prophets)
         prophets.push_back(prophetKindName(k));
     for (const auto b : axes.prophetBudgets)
@@ -230,6 +274,10 @@ SweepSpec::serialize() const
         shs.push_back(v ? "on" : "off");
     for (const bool v : axes.repairHistory)
         rhs.push_back(v ? "on" : "off");
+    for (const auto t : axes.filterTagBits)
+        tbs.push_back(std::to_string(t));
+    for (const bool v : axes.oracleFutureBits)
+        oracles.push_back(v ? "on" : "off");
 
     std::ostringstream os;
     os << "name = " << name << "\n"
@@ -239,7 +287,11 @@ SweepSpec::serialize() const
        << "critic_budget = " << join(cbudgets) << "\n"
        << "future_bits = " << join(fbs) << "\n"
        << "spec_history = " << join(shs) << "\n"
-       << "repair_history = " << join(rhs) << "\n";
+       << "repair_history = " << join(rhs) << "\n"
+       << "filter_tag_bits = " << join(tbs) << "\n"
+       << "oracle = " << join(oracles) << "\n";
+    if (timing)
+        os << "mode = timing\n";
     if (branches)
         os << "branches = " << branches << "\n";
     os << "workloads = " << join(workloads) << "\n";
@@ -287,11 +339,12 @@ SweepSpec::cells() const
                    "nothing");
 
     const SweepAxes &a = axes;
-    const std::size_t dims[7] = {
+    const std::size_t dims[9] = {
         a.prophets.size(),      a.prophetBudgets.size(),
         a.critics.size(),       a.criticBudgets.size(),
         a.futureBits.size(),    a.speculativeHistory.size(),
-        a.repairHistory.size(),
+        a.repairHistory.size(), a.filterTagBits.size(),
+        a.oracleFutureBits.size(),
     };
     std::size_t num_configs = 1;
     for (const std::size_t d : dims) {
@@ -304,9 +357,9 @@ SweepSpec::cells() const
     std::set<std::string> dedup;
     for (std::size_t ci = 0; ci < num_configs; ++ci) {
         // Odometer over the axes, last axis fastest.
-        std::size_t sub[7];
+        std::size_t sub[9];
         std::size_t rem = ci;
-        for (int d = 6; d >= 0; --d) {
+        for (int d = 8; d >= 0; --d) {
             sub[d] = rem % dims[d];
             rem /= dims[d];
         }
@@ -319,24 +372,41 @@ SweepSpec::cells() const
         spec.futureBits = spec.critic ? a.futureBits[sub[4]] : 0;
         spec.speculativeHistory = a.speculativeHistory[sub[5]];
         spec.repairHistory = a.repairHistory[sub[6]];
+        // Only filtered critics have tags to resize; only critiqued
+        // runs can consume oracle bits. Collapsing the axes here
+        // (with key-level dedup below) keeps inapplicable grid
+        // points from multiplying into duplicate cells.
+        spec.filterTagBits =
+            criticHasFilter(spec.critic) ? a.filterTagBits[sub[7]] : 0;
+        const bool oracle =
+            spec.critic && a.oracleFutureBits[sub[8]];
+        if (oracle && timing)
+            pcbp_fatal("sweep '", name, "': the oracle axis requires "
+                       "the accuracy engine (mode = accuracy)");
 
         for (const Workload *w : set) {
             SweepCell cell;
             cell.spec = spec;
             cell.workload = w;
+            cell.timing = timing;
+            cell.oracleFutureBits = oracle;
             if (branches) {
                 cell.measureBranches = std::max<std::uint64_t>(
                     std::uint64_t(double(branches) * benchScale()),
                     1000);
                 cell.warmupBranches = std::max<std::uint64_t>(
                     cell.measureBranches / 10, 100);
+            } else if (timing) {
+                const TimingConfig cfg = timingConfigFor(*w);
+                cell.measureBranches = cfg.measureBranches;
+                cell.warmupBranches = cfg.warmupBranches;
             } else {
                 const EngineConfig cfg = engineConfigFor(*w);
                 cell.measureBranches = cfg.measureBranches;
                 cell.warmupBranches = cfg.warmupBranches;
             }
-            // Baseline rows (no critic) collapse the critic-budget
-            // and future-bit axes; key-level dedup keeps one cell.
+            // Collapsed axes (baseline rows, unfiltered critics)
+            // produce equal keys; dedup keeps the first cell.
             if (!dedup.insert(cell.key()).second)
                 continue;
             cell.index = out.size();

@@ -21,6 +21,13 @@
  * or an individual workload name — including trace:<path>, which
  * sweeps over a recorded PCBPTRC1 committed stream (suites.hh).
  *
+ * A grid runs on the accuracy engine by default; `mode = timing`
+ * runs every cell through the cycle-level timing model instead
+ * (Figs. 9-10: uPC, fetched uops). The §4/§6 ablation axes —
+ * `filter_tag_bits` (critic filter tag width, 0 = Table-3 default)
+ * and `oracle` (feed the critic correct-path future bits) — make
+ * the ablation benches declarative too.
+ *
  * The expansion into SweepCells is deterministic, and each cell
  * carries a canonical content key — the unit of resume in the
  * ResultStore and of scheduling in the runner.
@@ -38,7 +45,16 @@
 namespace pcbp
 {
 
-/** One (configuration, workload) grid point. */
+/**
+ * One (configuration, workload) grid point.
+ *
+ * A cell is a value object: it borrows its Workload from the global
+ * registry (whose entries live for the process) and owns everything
+ * else, so cells can be copied and executed on any thread. Executing
+ * a cell builds a private program and predictor from the recipe, so
+ * no state leaks between cells whatever the execution order — the
+ * basis of the runner's determinism contract.
+ */
 struct SweepCell
 {
     /** Position in the spec's expansion order. */
@@ -46,6 +62,12 @@ struct SweepCell
 
     HybridSpec spec;
     const Workload *workload = nullptr;
+
+    /** Run the timing model instead of the accuracy engine. */
+    bool timing = false;
+
+    /** Feed oracle (correct-path) future bits — §6 ablation. */
+    bool oracleFutureBits = false;
 
     /** Engine run lengths, after overrides and PCBP_BENCH_SCALE. */
     std::uint64_t measureBranches = 0;
@@ -56,15 +78,21 @@ struct SweepCell
      * "w=unzip;p=perceptron;pb=8KB;c=t.gshare;cb=8KB;fb=8;sh=1;rh=1;
      *  mb=300000;wb=30000". Two cells with equal keys compute the
      * same result; the key changes whenever anything that affects
-     * the simulation (including run lengths) changes.
+     * the simulation (including run lengths) changes. Non-default
+     * knobs (timing mode, oracle bits, tag-width override) append
+     * suffixes (";md=t", ";ofb=1", ";tb=N"), so keys of plain
+     * accuracy grids — and stores already on disk — are unchanged.
      */
     std::string key() const;
 
     /** 64-bit FNV-1a hash of key(). */
     std::uint64_t hash() const;
 
-    /** Engine configuration for this cell. */
+    /** Engine configuration for this cell (accuracy cells). */
     EngineConfig engineConfig() const;
+
+    /** Timing configuration for this cell (timing cells). */
+    TimingConfig timingConfig() const;
 };
 
 /** The grid axes; empty axes take single-value defaults. */
@@ -79,6 +107,10 @@ struct SweepAxes
     std::vector<unsigned> futureBits{8};
     std::vector<bool> speculativeHistory{true};
     std::vector<bool> repairHistory{true};
+    /** Critic filter tag width; 0 = Table-3 default (§4 ablation). */
+    std::vector<unsigned> filterTagBits{0};
+    /** Oracle future bits on/off (§6 ablation; accuracy mode only). */
+    std::vector<bool> oracleFutureBits{false};
 };
 
 class SweepSpec
@@ -91,9 +123,16 @@ class SweepSpec
     std::vector<std::string> workloads{"AVG"};
 
     /**
+     * Run every cell through the cycle-level timing model instead of
+     * the accuracy engine (text format: `mode = timing`). Incompatible
+     * with the oracle axis, which only the engine implements.
+     */
+    bool timing = false;
+
+    /**
      * Override measured branches per cell (warmup = a tenth);
-     * 0 keeps each workload's own default. PCBP_BENCH_SCALE applies
-     * either way.
+     * 0 keeps each workload's own default (for timing grids, the
+     * workload's timing budget). PCBP_BENCH_SCALE applies either way.
      */
     std::uint64_t branches = 0;
 
@@ -108,8 +147,10 @@ class SweepSpec
 
     /**
      * Expand the grid in deterministic order (config-major, workload
-     * fastest). Baseline rows (critic = none) collapse the critic
-     * budget and future-bit axes so no duplicate cells appear.
+     * fastest). Axes that cannot affect a row collapse so no
+     * duplicate cells appear: baseline rows (critic = none) collapse
+     * the critic budget, future-bit, tag-width, and oracle axes, and
+     * unfiltered critics collapse the tag-width axis (no tags).
      */
     std::vector<SweepCell> cells() const;
 

@@ -4,8 +4,9 @@
  * bit-deterministic, so a handful of exact end-to-end values pin the
  * whole stack (generator, behaviors, predictors, engine, timing
  * model). If any of these change, something in the pipeline changed
- * behavior — intentionally or not — and EXPERIMENTS.md numbers must
- * be regenerated.
+ * behavior — intentionally or not — and the repro goldens
+ * (tests/golden/repro_quick/) plus any published REPRO.md must be
+ * regenerated.
  */
 
 #include <cstdlib>

@@ -179,6 +179,89 @@ TEST(SweepSpec, RejectsBadInput)
                 testing::ExitedWithCode(1), "bad value");
 }
 
+TEST(SweepSpec, ParsesTimingAndAblationAxes)
+{
+    const SweepSpec spec = SweepSpec::parse(
+        "name = t\n"
+        "mode = timing\n"
+        "filter_tag_bits = 4, 10\n"
+        "workloads = mm.mpeg\n");
+    EXPECT_TRUE(spec.timing);
+    EXPECT_EQ(spec.axes.filterTagBits, (std::vector<unsigned>{4, 10}));
+    const auto cells = spec.cells();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_TRUE(cells[0].timing);
+
+    const SweepSpec oracle = SweepSpec::parse(
+        "oracle = off, on\nworkloads = mm.mpeg\n");
+    EXPECT_FALSE(oracle.timing);
+    ASSERT_EQ(oracle.cells().size(), 2u);
+    EXPECT_FALSE(oracle.cells()[0].oracleFutureBits);
+    EXPECT_TRUE(oracle.cells()[1].oracleFutureBits);
+    EXPECT_TRUE(oracle.cells()[1].engineConfig().oracleFutureBits);
+
+    EXPECT_EXIT(SweepSpec::parse("mode = sideways\n"),
+                testing::ExitedWithCode(1), "bad value");
+    EXPECT_EXIT(SweepSpec::parse("mode = timing\noracle = on\n"
+                                 "workloads = mm.mpeg\n")
+                    .cells(),
+                testing::ExitedWithCode(1), "oracle axis");
+}
+
+TEST(SweepSpec, TimingAndAblationAxesRoundTrip)
+{
+    SweepSpec spec;
+    spec.name = "rt2";
+    spec.timing = true;
+    spec.axes.filterTagBits = {0, 8};
+    spec.branches = 2000;
+    spec.workloads = {"mm.mpeg"};
+    const SweepSpec back = SweepSpec::parse(spec.serialize());
+    EXPECT_EQ(back.serialize(), spec.serialize());
+    EXPECT_TRUE(back.timing);
+}
+
+TEST(SweepSpec, NonDefaultKnobsAppendKeySuffixes)
+{
+    SweepSpec spec;
+    spec.workloads = {"mm.mpeg"};
+    spec.branches = 2000;
+    const std::string base = spec.cells()[0].key();
+    // Plain accuracy cells keep the historical key format.
+    EXPECT_EQ(base.find(";md="), std::string::npos);
+    EXPECT_EQ(base.find(";tb="), std::string::npos);
+    EXPECT_EQ(base.find(";ofb="), std::string::npos);
+
+    SweepSpec timing = spec;
+    timing.timing = true;
+    EXPECT_EQ(timing.cells()[0].key(), base + ";md=t");
+
+    SweepSpec tagged = spec;
+    tagged.axes.filterTagBits = {6};
+    EXPECT_EQ(tagged.cells()[0].key(), base + ";tb=6");
+
+    SweepSpec oracle = spec;
+    oracle.axes.oracleFutureBits = {true};
+    EXPECT_EQ(oracle.cells()[0].key(), base + ";ofb=1");
+}
+
+TEST(SweepSpec, InapplicableAblationAxesCollapse)
+{
+    // Baselines have no critique path (no oracle bits consumed) and
+    // unfiltered critics have no tags: those grid points collapse
+    // instead of multiplying into duplicate cells.
+    SweepSpec spec;
+    spec.axes.critics = {std::nullopt,
+                         CriticKind::UnfilteredPerceptron,
+                         CriticKind::TaggedGshare};
+    spec.axes.filterTagBits = {8, 10};
+    spec.axes.oracleFutureBits = {false, true};
+    spec.workloads = {"mm.mpeg"};
+    spec.branches = 2000;
+    // none: 1; u.perceptron: 2 oracle; t.gshare: 2 tags x 2 oracle.
+    EXPECT_EQ(spec.cells().size(), 7u);
+}
+
 TEST(SweepSpec, BaselineRowsCollapseCriticAxes)
 {
     SweepSpec spec;
@@ -560,6 +643,150 @@ TEST(Runner, MissingCellIsFatal)
     const ResultStore store;
     EXPECT_EXIT(store.statsFor(spec.cells()[0]),
                 testing::ExitedWithCode(1), "no result for cell");
+}
+
+SweepSpec
+timingGrid()
+{
+    SweepSpec spec;
+    spec.name = "timing-grid";
+    spec.timing = true;
+    spec.axes.prophets = {ProphetKind::Gshare};
+    spec.axes.critics = {std::nullopt, CriticKind::TaggedGshare};
+    spec.axes.criticBudgets = {Budget::B2KB};
+    spec.axes.futureBits = {4};
+    spec.branches = 2000;
+    spec.workloads = {"mm.mpeg"};
+    return spec;
+}
+
+TEST(Runner, TimingGridRunsTheTimingModel)
+{
+    const SweepSpec spec = timingGrid();
+    ResultStore store;
+    const SweepRunSummary s = runSweep(spec, store);
+    EXPECT_EQ(s.executedCells, 2u);
+    for (const auto &cell : spec.cells()) {
+        const CellResult *r = store.find(cell.key());
+        ASSERT_NE(r, nullptr);
+        EXPECT_TRUE(r->timing);
+        const TimingStats st = store.timingStatsFor(cell);
+        EXPECT_GT(st.cycles, 0u);
+        EXPECT_GT(st.fetchedUops, st.committedUops);
+        EXPECT_GT(st.upc(), 0.0);
+        // Wrong accessor for the mode is a bug in the caller.
+        EXPECT_EXIT(store.statsFor(cell), testing::ExitedWithCode(1),
+                    "timing stats");
+    }
+    const double upc =
+        meanUpcCells(store, spec.cells(),
+                     [](const SweepCell &c) { return !c.spec.critic; });
+    EXPECT_GT(upc, 0.0);
+}
+
+TEST(Runner, TimingGridMatchesDirectTimingRun)
+{
+    const SweepSpec spec = timingGrid();
+    ResultStore store;
+    runSweep(spec, store);
+    for (const auto &cell : spec.cells()) {
+        const TimingStats direct = runTiming(
+            *cell.workload, cell.spec, cell.timingConfig());
+        const TimingStats stored = store.timingStatsFor(cell);
+        EXPECT_EQ(stored.cycles, direct.cycles) << cell.key();
+        EXPECT_EQ(stored.committedUops, direct.committedUops);
+        EXPECT_EQ(stored.finalMispredicts, direct.finalMispredicts);
+        EXPECT_EQ(stored.fetchedUops, direct.fetchedUops);
+    }
+}
+
+TEST(Runner, TimingAndAccuracyCellsShareAStoreFile)
+{
+    const std::string path =
+        testing::TempDir() + "pcbp_mixed_store.jsonl";
+    std::remove(path.c_str());
+    SweepSpec acc = smallGrid();
+    acc.axes.prophets = {ProphetKind::Gshare};
+    const SweepSpec tim = timingGrid();
+    {
+        ResultStore store(path);
+        runSweep(acc, store);
+        runSweep(tim, store);
+    }
+    // Both kinds replay from disk with their counters intact.
+    ResultStore reload(path);
+    for (const auto &cell : acc.cells())
+        EXPECT_GT(reload.statsFor(cell).committedBranches, 0u);
+    for (const auto &cell : tim.cells())
+        EXPECT_GT(reload.timingStatsFor(cell).cycles, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, LoadsStoresWrittenBeforeTheTimingFields)
+{
+    // Resume compatibility: stores written before the timing-mode /
+    // ablation-axis fields existed must keep loading (their cells
+    // are all accuracy-mode with default knobs). Regression for a
+    // bug where the loader required the new fields, aborting on
+    // multi-line legacy stores and truncating single-line ones.
+    auto legacyLine = [](const char *key) {
+        std::string line = sampleResult(key).toJson();
+        for (const char *field :
+             {",\"filter_tag_bits\":0", ",\"oracle\":0",
+              ",\"timing\":0", ",\"cycles\":0",
+              ",\"fetched_uops\":0"}) {
+            const auto at = line.find(field);
+            EXPECT_NE(at, std::string::npos) << field;
+            line.erase(at, std::string(field).size());
+        }
+        return line;
+    };
+
+    CellResult r;
+    ASSERT_TRUE(CellResult::tryFromJson(legacyLine("k1"), r));
+    EXPECT_FALSE(r.timing);
+    EXPECT_FALSE(r.oracleFutureBits);
+    EXPECT_EQ(r.filterTagBits, 0u);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.finalMispredicts, 111u);
+
+    const std::string path =
+        testing::TempDir() + "pcbp_legacy_store.jsonl";
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path);
+        out << legacyLine("k1") << "\n" << legacyLine("k2") << "\n";
+    }
+    const std::string before = slurp(path);
+    {
+        ResultStore store(path);
+        EXPECT_EQ(store.size(), 2u);
+        EXPECT_TRUE(store.has("k1"));
+        store.put(sampleResult("k3")); // appends in the new format
+    }
+    // Nothing was truncated, and the mixed-format file replays.
+    EXPECT_EQ(slurp(path).substr(0, before.size()), before);
+    const ResultStore reload(path);
+    EXPECT_EQ(reload.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, TimingJsonRoundTrips)
+{
+    CellResult r = sampleResult("w=m;md=t");
+    r.timing = true;
+    r.cycles = 123456;
+    r.fetchedUops = 98765;
+    r.oracleFutureBits = true;
+    r.filterTagBits = 6;
+    const CellResult back = CellResult::fromJson(r.toJson());
+    EXPECT_TRUE(back.timing);
+    EXPECT_EQ(back.cycles, 123456u);
+    EXPECT_EQ(back.fetchedUops, 98765u);
+    EXPECT_TRUE(back.oracleFutureBits);
+    EXPECT_EQ(back.filterTagBits, 6u);
+    EXPECT_EQ(back.toJson(), r.toJson());
+    EXPECT_NEAR(back.upc(), 30000.0 / 123456.0, 1e-12);
 }
 
 } // namespace

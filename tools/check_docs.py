@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Markdown link/anchor and source-path checker (CI docs job).
+
+Scans the repository's Markdown files (top level and docs/;
+tests/golden/ is intentionally excluded — generated artifacts may
+reference paths relative to their output directory) and fails on:
+
+  * relative Markdown links to files that do not exist;
+  * intra-repo anchor links (#heading) that match no heading in the
+    target file (GitHub-style slugs; the same rule as slugify() in
+    src/report/repro.cc — keep them in sync);
+  * backticked or bare references to repository paths
+    (src/..., bench/..., tools/..., tests/..., examples/..., docs/...)
+    that do not exist (glob patterns are expanded; a pattern matching
+    nothing fails).
+
+Usage: python3 tools/check_docs.py [repo-root]
+Exits non-zero with one line per problem.
+"""
+
+import glob
+import os
+import re
+import sys
+
+PATH_PREFIXES = ("src/", "bench/", "tools/", "tests/", "examples/",
+                 "docs/")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+# Path-like tokens: a known prefix followed by path characters.
+PATH_RE = re.compile(
+    r"(?<![\w/.])((?:src|bench|tools|tests|examples|docs)/"
+    r"[A-Za-z0-9_./*-]*)")
+
+
+def github_slug(heading):
+    """GitHub-style anchor; mirror of slugify() in src/report/repro.cc."""
+    out = []
+    for ch in heading:
+        if ch.isalnum():
+            out.append(ch.lower())
+        elif ch == " ":
+            out.append("-")
+        elif ch in "-_":
+            out.append(ch)
+    return "".join(out)
+
+
+def md_files(root):
+    for entry in sorted(os.listdir(root)):
+        if entry.endswith(".md"):
+            yield os.path.join(root, entry)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _dirnames, filenames in os.walk(docs):
+            for name in sorted(filenames):
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def headings_of(path):
+    slugs = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = HEADING_RE.match(line.rstrip())
+            if not m:
+                continue
+            # Strip inline code/emphasis markers before slugging,
+            # as GitHub does.
+            text = re.sub(r"[`*]", "", m.group(1)).strip()
+            slug = github_slug(text)
+            # Repeated headings get -1, -2, ... suffixes.
+            n = slugs.get(slug, -1) + 1
+            slugs[slug] = n
+            if n:
+                slugs[f"{slug}-{n}"] = 0
+    return set(slugs)
+
+
+def check_file(root, path, problems):
+    rel = os.path.relpath(path, root)
+    text = open(path, encoding="utf-8").read()
+    base = os.path.dirname(path)
+
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        if target:
+            dest = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(dest):
+                problems.append(f"{rel}: dead link: {m.group(1)}")
+                continue
+        else:
+            dest = path
+        if anchor and dest.endswith(".md"):
+            if anchor not in headings_of(dest):
+                problems.append(f"{rel}: dead anchor: #{anchor}")
+
+    seen = set()
+    for m in PATH_RE.finditer(text):
+        token = m.group(1).rstrip(".,:;)")
+        if token in seen:
+            continue
+        seen.add(token)
+        if not token.startswith(PATH_PREFIXES):
+            continue
+        if any(tok in token for tok in "*?["):
+            if not glob.glob(os.path.join(root, token)):
+                problems.append(
+                    f"{rel}: path pattern matches nothing: {token}")
+            continue
+        full = os.path.join(root, token)
+        if os.path.exists(full):
+            continue
+        # Extensionless stems are fine when something carries the
+        # stem: `bench/h2p_report` (the built binary) names
+        # bench/h2p_report.cc, and `src/sim/spec_core.{hh,cc}`
+        # tokenizes to the stem `src/sim/spec_core`.
+        if not os.path.splitext(token)[1] and glob.glob(full + ".*"):
+            continue
+        problems.append(f"{rel}: dead path reference: {token}")
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    problems = []
+    count = 0
+    for path in md_files(root):
+        count += 1
+        check_file(root, path, problems)
+    for p in problems:
+        print(p)
+    print(f"check_docs: {count} files, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,9 @@
  *                  [--max-cells N] [--quiet]
  *       Execute the grid. Cells already in the store are skipped, so
  *       an interrupted run resumes where it left off. Output is
- *       bit-identical for any --jobs value.
+ *       bit-identical for any --jobs value. `mode = timing` grids
+ *       run the cycle-level model (progress lines report uPC
+ *       instead of misp/Kuops).
  *
  *   pcbp_sweep status --spec FILE --store FILE
  *       Completed / remaining cell counts for the grid.
@@ -100,10 +102,15 @@ cmdRun(const Args &a, const char *argv0)
     std::size_t flushed = 0;
     if (!a.quiet) {
         opt.onCellDone = [&](const SweepCell &cell,
-                             const EngineStats &st) {
-            std::cerr << "[" << ++flushed << "] " << cell.key()
-                      << " misp/Kuops="
-                      << fmtDouble(st.mispPerKuops(), 3) << "\n";
+                             const CellResult &r) {
+            std::cerr << "[" << ++flushed << "] " << cell.key();
+            if (r.timing)
+                std::cerr << " uPC=" << fmtDouble(r.upc(), 3);
+            else
+                std::cerr << " misp/Kuops="
+                          << fmtDouble(
+                                 r.toEngineStats().mispPerKuops(), 3);
+            std::cerr << "\n";
         };
     }
 
