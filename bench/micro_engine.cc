@@ -1,64 +1,28 @@
 /**
  * @file
- * Whole-engine hot-path micro-benchmark: committed branches per
- * second through the accuracy engine, prophet-alone and full hybrid.
- * The hybrid row exercises the critique path (future-bit gather +
- * BOR reconstruction) once per committed branch, which is where the
- * per-critique std::vector<bool> allocations used to live — compare
- * this number across revisions to see hot-path regressions. Plain
- * chrono, no Google Benchmark dependency.
+ * Whole-engine hot-path micro-benchmark — now a thin wrapper over
+ * the perf registry's engine.* benchmarks (src/perf/bench.hh), the
+ * same definitions `pcbp_bench run` measures and persists. Kept as a
+ * standalone binary for muscle memory; for trackable numbers use:
+ *
+ *   pcbp_bench run --filter engine --name mylabel
+ *
+ * which emits the comparable BENCH_<label>.json artifact
+ * (docs/PERFORMANCE.md).
  */
 
-#include <chrono>
 #include <cstdio>
 
-#include "sim/driver.hh"
+#include "perf/bench_report.hh"
 
 using namespace pcbp;
-
-namespace
-{
-
-void
-bench(const char *label, const HybridSpec &spec)
-{
-    const Workload &w = workloadByName("mm.mpeg");
-    EngineConfig cfg;
-    cfg.warmupBranches = 50000;
-    cfg.measureBranches = static_cast<std::uint64_t>(
-        1500000 * benchScale());
-
-    Program p = buildProgram(w);
-    auto h = spec.build();
-    Engine engine(p, *h, cfg);
-
-    const auto t0 = std::chrono::steady_clock::now();
-    const EngineStats st = engine.run();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double secs =
-        std::chrono::duration<double>(t1 - t0).count();
-    const double total =
-        double(cfg.warmupBranches + cfg.measureBranches);
-    std::printf("%-28s %8.2f Mbranch/s  (%.0f branches, %.3f s, "
-                "misp/Ku %.3f)\n",
-                label, total / secs / 1e6, total, secs,
-                st.mispPerKuops());
-}
-
-} // namespace
 
 int
 main()
 {
-    bench("prophet-alone gshare 8KB",
-          prophetAlone(ProphetKind::Gshare, Budget::B8KB));
-    bench("prophet-alone perceptron",
-          prophetAlone(ProphetKind::Perceptron, Budget::B8KB));
-    bench("hybrid t.gshare fb=8",
-          hybridSpec(ProphetKind::Gshare, Budget::B8KB,
-                     CriticKind::TaggedGshare, Budget::B8KB, 8));
-    bench("hybrid perceptron+t.gshare",
-          hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
-                     CriticKind::TaggedGshare, Budget::B8KB, 8));
+    BenchContext ctx;
+    const BenchRun run = BenchRun::fromResults(
+        "micro_engine", ctx, runBenches(benchesMatching("engine."), ctx));
+    std::fputs(benchRunTable(run).toMarkdown().c_str(), stdout);
     return 0;
 }

@@ -1,111 +1,29 @@
 /**
  * @file
- * google-benchmark microbenchmarks: lookup + update throughput of
- * every predictor in the zoo, the critic structures, and the full
- * prophet/critic hybrid event path. These measure simulator
- * performance (host ns/prediction), not prediction accuracy.
+ * Predictor/critic/hybrid micro-benchmarks — now a thin wrapper over
+ * the perf registry's predictor.*, critic.*, and hybrid.* benchmarks
+ * (src/perf/bench.hh). The Google Benchmark dependency is gone: the
+ * same repeat/warmup/median measurement core (src/perf/measure.hh)
+ * that backs `pcbp_bench` times these, so the numbers printed here
+ * are the numbers the BENCH_*.json artifacts track. For trackable
+ * runs use:
+ *
+ *   pcbp_bench run --filter pred. --name mylabel
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
-#include "common/rng.hh"
-#include "core/filtered_perceptron.hh"
-#include "core/presets.hh"
-#include "core/tagged_gshare.hh"
-#include "predictors/factory.hh"
+#include "perf/bench_report.hh"
 
 using namespace pcbp;
 
-namespace
+int
+main()
 {
-
-/** Deterministic stream of (pc, outcome, history) stimuli. */
-struct Stimulus
-{
-    explicit Stimulus(std::uint64_t seed) : rng(seed) {}
-
-    void
-    step()
-    {
-        pc = 0x400000 + (rng.nextBelow(4096) << 4);
-        outcome = rng.nextBool(0.6);
-        hist.shiftIn(outcome);
-    }
-
-    Rng rng;
-    Addr pc = 0x400000;
-    bool outcome = false;
-    HistoryRegister hist;
-};
-
-void
-benchProphet(benchmark::State &state, ProphetKind kind)
-{
-    auto pred = makeProphet(kind, Budget::B8KB);
-    Stimulus s(42);
-    for (auto _ : state) {
-        s.step();
-        const bool taken = pred->predict(s.pc, s.hist);
-        benchmark::DoNotOptimize(taken);
-        pred->update(s.pc, s.hist, s.outcome);
-    }
-    state.SetItemsProcessed(state.iterations());
+    BenchContext ctx;
+    const BenchRun run = BenchRun::fromResults(
+        "micro_predictors", ctx,
+        runBenches(benchesMatching("pred.,critic.,hybrid."), ctx));
+    std::fputs(benchRunTable(run).toMarkdown().c_str(), stdout);
+    return 0;
 }
-
-void
-benchCritic(benchmark::State &state, CriticKind kind)
-{
-    auto critic = makeCritic(kind, Budget::B8KB);
-    Stimulus s(43);
-    for (auto _ : state) {
-        s.step();
-        const CritiqueResult r = critic->critique(s.pc, s.hist);
-        benchmark::DoNotOptimize(r);
-        critic->train(s.pc, s.hist, s.outcome, !r.provided);
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-
-void
-benchHybridPath(benchmark::State &state)
-{
-    auto hybrid =
-        makeHybrid(ProphetKind::Perceptron, Budget::B8KB,
-                   CriticKind::TaggedGshare, Budget::B8KB, 8);
-    Stimulus s(44);
-    FutureBits fb;
-    for (auto _ : state) {
-        s.step();
-        BranchContext ctx;
-        const bool pred = hybrid->predictBranch(s.pc, ctx);
-        fb.clear();
-        for (std::size_t i = 0; i < 8; ++i)
-            fb.push(i == 0 ? pred : s.rng.nextBool(0.5));
-        const CritiqueDecision d =
-            hybrid->critiqueBranch(s.pc, ctx, pred, fb);
-        benchmark::DoNotOptimize(d.finalPrediction);
-        hybrid->commitBranch(s.pc, ctx, d, s.outcome);
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-
-} // namespace
-
-BENCHMARK_CAPTURE(benchProphet, gshare, ProphetKind::Gshare);
-BENCHMARK_CAPTURE(benchProphet, gskew, ProphetKind::GSkew);
-BENCHMARK_CAPTURE(benchProphet, perceptron, ProphetKind::Perceptron);
-BENCHMARK_CAPTURE(benchProphet, bimodal, ProphetKind::Bimodal);
-BENCHMARK_CAPTURE(benchProphet, yags, ProphetKind::Yags);
-BENCHMARK_CAPTURE(benchProphet, local, ProphetKind::Local);
-BENCHMARK_CAPTURE(benchProphet, tournament, ProphetKind::Tournament);
-BENCHMARK_CAPTURE(benchProphet, two_level, ProphetKind::TwoLevel);
-
-BENCHMARK_CAPTURE(benchCritic, tagged_gshare, CriticKind::TaggedGshare);
-BENCHMARK_CAPTURE(benchCritic, filtered_perceptron,
-                  CriticKind::FilteredPerceptron);
-BENCHMARK_CAPTURE(benchCritic, unfiltered_perceptron,
-                  CriticKind::UnfilteredPerceptron);
-
-BENCHMARK(benchHybridPath);
-
-BENCHMARK_MAIN();

@@ -48,7 +48,7 @@ class FutureBits
     void
     push(bool b)
     {
-        pcbp_assert(n < capacity, "future-bit buffer overflow");
+        pcbp_dassert(n < capacity, "future-bit buffer overflow");
         mask |= std::uint64_t(b) << n;
         ++n;
     }
@@ -60,7 +60,7 @@ class FutureBits
     bool
     operator[](unsigned i) const
     {
-        pcbp_assert(i < n);
+        pcbp_dassert(i < n);
         return (mask >> i) & 1;
     }
 

@@ -53,7 +53,7 @@ class HistoryRegister
     bool
     bit(unsigned i) const
     {
-        pcbp_assert(i < capacity);
+        pcbp_dassert(i < capacity);
         return (words[i / 64] >> (i % 64)) & 1;
     }
 
@@ -61,7 +61,7 @@ class HistoryRegister
     void
     setBit(unsigned i, bool v)
     {
-        pcbp_assert(i < capacity);
+        pcbp_dassert(i < capacity);
         const std::uint64_t m = std::uint64_t(1) << (i % 64);
         if (v)
             words[i / 64] |= m;
@@ -76,7 +76,7 @@ class HistoryRegister
     std::uint64_t
     low(unsigned n) const
     {
-        pcbp_assert(n <= 64);
+        pcbp_dassert(n <= 64);
         return words[0] & maskBits(n);
     }
 
@@ -87,7 +87,7 @@ class HistoryRegister
     std::uint64_t
     window(unsigned first, unsigned n) const
     {
-        pcbp_assert(n <= 64 && first + n <= capacity);
+        pcbp_dassert(n <= 64 && first + n <= capacity);
         if (first == 0)
             return low(n);
         std::uint64_t v = 0;

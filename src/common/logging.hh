@@ -79,4 +79,21 @@ concat(const Args &...args)
         }                                                                   \
     } while (0)
 
+/**
+ * Hot-path invariant check: pcbp_assert in debug builds, compiled
+ * out in optimized (NDEBUG) builds. Per-branch simulation loops run
+ * these checks millions of times per second, where even an untaken
+ * compare-and-branch costs measurable throughput and blocks
+ * vectorization; the invariants still hold — they are just verified
+ * by the debug and sanitizer configurations instead of every Release
+ * run. The sanitizer CI build defines PCBP_FORCE_DASSERT so its
+ * RelWithDebInfo binaries keep checking them. Cold-path and
+ * construction-time checks stay pcbp_assert.
+ */
+#if !defined(NDEBUG) || defined(PCBP_FORCE_DASSERT)
+#define pcbp_dassert(cond, ...) pcbp_assert(cond, ##__VA_ARGS__)
+#else
+#define pcbp_dassert(cond, ...) ((void)0)
+#endif
+
 #endif // PCBP_COMMON_LOGGING_HH

@@ -13,7 +13,7 @@
 namespace pcbp
 {
 
-class UnfilteredCritic : public FilteredPredictor
+class UnfilteredCritic final : public FilteredPredictor
 {
   public:
     explicit UnfilteredCritic(DirectionPredictorPtr predictor);

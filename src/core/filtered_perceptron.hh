@@ -17,7 +17,7 @@
 namespace pcbp
 {
 
-class FilteredPerceptron : public FilteredPredictor
+class FilteredPerceptron final : public FilteredPredictor
 {
   public:
     /**

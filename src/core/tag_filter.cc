@@ -21,35 +21,41 @@ TagFilter::TagFilter(std::size_t num_sets, unsigned num_ways,
     pcbp_assert(bor_bits <= 64);
 }
 
+TagFilter::Hashes
+TagFilter::hashesOf(Addr pc, const HistoryRegister &bor) const
+{
+    const std::uint64_t b = bor.low(numBorBits);
+    // First hash: XOR of folded address and folded BOR value.
+    const std::size_t set =
+        (foldBits(pc >> 2, indexBits) ^ foldBits(b, indexBits)) &
+        maskBits(indexBits);
+    // Second, decorrelated hash: mix the combination so that two
+    // (pc, BOR) pairs landing in the same set rarely share a tag.
+    const std::uint64_t h = mix64((pc >> 2) * 0x9e3779b97f4a7c15ULL ^
+                                  (b << 1));
+    return {set, static_cast<std::uint16_t>(foldBits(h, numTagBits))};
+}
+
 std::size_t
 TagFilter::indexOf(Addr pc, const HistoryRegister &bor) const
 {
-    // First hash: XOR of folded address and folded BOR value.
-    const std::uint64_t b = bor.low(numBorBits);
-    return (foldBits(pc >> 2, indexBits) ^ foldBits(b, indexBits)) &
-           maskBits(indexBits);
+    return hashesOf(pc, bor).set;
 }
 
 std::uint16_t
 TagFilter::tagOf(Addr pc, const HistoryRegister &bor) const
 {
-    // Second, decorrelated hash: mix the combination so that two
-    // (pc, BOR) pairs landing in the same set rarely share a tag.
-    const std::uint64_t b = bor.low(numBorBits);
-    const std::uint64_t h = mix64((pc >> 2) * 0x9e3779b97f4a7c15ULL ^
-                                  (b << 1));
-    return static_cast<std::uint16_t>(foldBits(h, numTagBits));
+    return hashesOf(pc, bor).tag;
 }
 
 TagFilter::Result
 TagFilter::probe(Addr pc, const HistoryRegister &bor) const
 {
-    const std::size_t set = indexOf(pc, bor);
-    const std::uint16_t tag = tagOf(pc, bor);
+    const Hashes h = hashesOf(pc, bor);
+    const Entry *set = &table[h.set * numWays];
     for (unsigned w = 0; w < numWays; ++w) {
-        const std::size_t e = set * numWays + w;
-        if (table[e].valid && table[e].tag == tag)
-            return {true, e};
+        if (set[w].valid && set[w].tag == h.tag)
+            return {true, h.set * numWays + w};
     }
     return {false, 0};
 }
@@ -57,15 +63,16 @@ TagFilter::probe(Addr pc, const HistoryRegister &bor) const
 void
 TagFilter::touch(std::size_t entry)
 {
-    pcbp_assert(entry < table.size());
+    pcbp_dassert(entry < table.size());
     table[entry].lastUse = ++tick;
 }
 
 std::size_t
 TagFilter::allocate(Addr pc, const HistoryRegister &bor)
 {
-    const std::size_t set = indexOf(pc, bor);
-    const std::uint16_t tag = tagOf(pc, bor);
+    const Hashes h = hashesOf(pc, bor);
+    const std::size_t set = h.set;
+    const std::uint16_t tag = h.tag;
 
     std::size_t victim = set * numWays;
     for (unsigned w = 0; w < numWays; ++w) {

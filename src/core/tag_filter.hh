@@ -74,6 +74,19 @@ class TagFilter
         std::uint64_t lastUse = 0;
     };
 
+    /**
+     * Both hashes of one (pc, BOR) access, computed in a single pass
+     * so the BOR slice is extracted once: probe and train each need
+     * index and tag together, and these run once per critique and
+     * once per commit on the hybrid hot path.
+     */
+    struct Hashes
+    {
+        std::size_t set;
+        std::uint16_t tag;
+    };
+    Hashes hashesOf(Addr pc, const HistoryRegister &bor) const;
+
     std::size_t indexOf(Addr pc, const HistoryRegister &bor) const;
     std::uint16_t tagOf(Addr pc, const HistoryRegister &bor) const;
 

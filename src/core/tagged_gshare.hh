@@ -19,7 +19,7 @@
 namespace pcbp
 {
 
-class TaggedGshare : public FilteredPredictor
+class TaggedGshare final : public FilteredPredictor
 {
   public:
     /**

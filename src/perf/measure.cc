@@ -1,0 +1,88 @@
+#include "perf/measure.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/logging.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace pcbp
+{
+
+std::uint64_t
+readCycleCounter()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    return __rdtsc();
+#else
+    return 0;
+#endif
+}
+
+std::uint64_t
+readNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace
+{
+
+double
+medianOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+} // namespace
+
+Measurement
+measureRepeated(const std::function<std::uint64_t()> &body,
+                const MeasureOptions &opt)
+{
+    pcbp_assert(opt.repeats >= 1, "a measurement needs a repetition");
+
+    for (unsigned i = 0; i < opt.warmupReps; ++i)
+        body();
+
+    std::vector<double> ns;
+    std::vector<double> cycles;
+    ns.reserve(opt.repeats);
+    cycles.reserve(opt.repeats);
+
+    Measurement m;
+    m.repeats = opt.repeats;
+    for (unsigned i = 0; i < opt.repeats; ++i) {
+        const std::uint64_t c0 = readCycleCounter();
+        const std::uint64_t t0 = readNanos();
+        const std::uint64_t items = body();
+        const std::uint64_t t1 = readNanos();
+        const std::uint64_t c1 = readCycleCounter();
+        ns.push_back(double(t1 - t0));
+        cycles.push_back(double(c1 - c0));
+        if (i == 0) {
+            m.itemsPerRep = items;
+        } else {
+            pcbp_assert(items == m.itemsPerRep,
+                        "benchmark body must do identical work every "
+                        "repetition");
+        }
+    }
+
+    m.nsMedian = medianOf(ns);
+    m.nsMin = *std::min_element(ns.begin(), ns.end());
+    m.nsMax = *std::max_element(ns.begin(), ns.end());
+    m.cyclesMedian = medianOf(cycles); // all-zero samples => no TSC
+    return m;
+}
+
+} // namespace pcbp

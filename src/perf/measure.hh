@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The benchmark measurement core: warmup / repeat / median timing
+ * with both a wall-clock (nanosecond) and a cycle (TSC) timer.
+ *
+ * Methodology (docs/PERFORMANCE.md): a benchmark body is executed
+ * `warmupReps` times untimed — first-touch page faults, predictor
+ * table cold misses, and i-cache warmup land there — then `repeats`
+ * timed times. The reported figure is the *median* repetition, which
+ * is robust against one-sided noise (scheduler preemption, frequency
+ * ramps) without assuming a distribution; min and max are retained
+ * so a noisy run is visible in the artifact. Every repetition runs
+ * the body from scratch (fresh predictor/simulator state), so
+ * repeats are identically distributed and the median is meaningful.
+ *
+ * The cycle timer reads the TSC on x86-64 and reports 0 elsewhere —
+ * consumers must treat 0 as "no cycle counter", not "free". No
+ * serializing instruction is issued: benchmark bodies are
+ * milliseconds long, so out-of-order skew at the edges is noise well
+ * below the repeat-to-repeat variance the median already absorbs.
+ */
+
+#ifndef PCBP_PERF_MEASURE_HH
+#define PCBP_PERF_MEASURE_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace pcbp
+{
+
+/** Read the cycle counter (TSC); 0 where unavailable. */
+std::uint64_t readCycleCounter();
+
+/** Monotonic nanoseconds (steady_clock). */
+std::uint64_t readNanos();
+
+/** Repeat/warmup policy for one measurement. */
+struct MeasureOptions
+{
+    /** Timed repetitions; the median is the reported figure. */
+    unsigned repeats = 5;
+
+    /** Untimed warmup repetitions before the timed ones. */
+    unsigned warmupReps = 1;
+};
+
+/** One benchmark's timing summary, over all timed repetitions. */
+struct Measurement
+{
+    unsigned repeats = 0;
+
+    /** Work items processed per repetition (identical across reps). */
+    std::uint64_t itemsPerRep = 0;
+
+    double nsMedian = 0.0;
+    double nsMin = 0.0;
+    double nsMax = 0.0;
+
+    /** Median TSC delta per repetition; 0 = no cycle counter. */
+    double cyclesMedian = 0.0;
+
+    /** Items per second at the median repetition. */
+    double
+    throughput() const
+    {
+        return nsMedian <= 0.0 ? 0.0
+                               : double(itemsPerRep) * 1e9 / nsMedian;
+    }
+};
+
+/**
+ * Run @p body under the repeat/warmup policy and summarize. The body
+ * performs one full repetition and returns the number of work items
+ * it processed (which must not depend on the repetition index —
+ * bodies rebuild their state every call).
+ */
+Measurement measureRepeated(const std::function<std::uint64_t()> &body,
+                            const MeasureOptions &opt = {});
+
+} // namespace pcbp
+
+#endif // PCBP_PERF_MEASURE_HH

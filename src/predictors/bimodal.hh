@@ -16,7 +16,7 @@
 namespace pcbp
 {
 
-class Bimodal : public DirectionPredictor
+class Bimodal final : public DirectionPredictor
 {
   public:
     /**

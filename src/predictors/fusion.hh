@@ -19,7 +19,7 @@
 namespace pcbp
 {
 
-class FusionHybrid : public DirectionPredictor
+class FusionHybrid final : public DirectionPredictor
 {
   public:
     /**

@@ -16,7 +16,7 @@
 namespace pcbp
 {
 
-class Gshare : public DirectionPredictor
+class Gshare final : public DirectionPredictor
 {
   public:
     /**

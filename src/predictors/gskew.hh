@@ -26,7 +26,7 @@
 namespace pcbp
 {
 
-class GSkew : public DirectionPredictor
+class GSkew final : public DirectionPredictor
 {
   public:
     /**

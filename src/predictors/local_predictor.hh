@@ -22,7 +22,7 @@
 namespace pcbp
 {
 
-class LocalPredictor : public DirectionPredictor
+class LocalPredictor final : public DirectionPredictor
 {
   public:
     /**

@@ -20,7 +20,7 @@
 namespace pcbp
 {
 
-class Perceptron : public DirectionPredictor
+class Perceptron final : public DirectionPredictor
 {
   public:
     /**

@@ -19,7 +19,7 @@
 namespace pcbp
 {
 
-class SkewedPerceptron : public DirectionPredictor
+class SkewedPerceptron final : public DirectionPredictor
 {
   public:
     /**

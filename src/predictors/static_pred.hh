@@ -12,7 +12,7 @@
 namespace pcbp
 {
 
-class StaticPredictor : public DirectionPredictor
+class StaticPredictor final : public DirectionPredictor
 {
   public:
     explicit StaticPredictor(bool predict_taken)

@@ -62,7 +62,7 @@ struct TageConfig
     std::uint64_t usefulResetPeriod = 1u << 18;
 };
 
-class Tage : public DirectionPredictor
+class Tage final : public DirectionPredictor
 {
   public:
     explicit Tage(const TageConfig &config);

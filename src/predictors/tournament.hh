@@ -18,7 +18,7 @@
 namespace pcbp
 {
 
-class Tournament : public DirectionPredictor
+class Tournament final : public DirectionPredictor
 {
   public:
     /**

@@ -16,7 +16,7 @@
 namespace pcbp
 {
 
-class TwoLevel : public DirectionPredictor
+class TwoLevel final : public DirectionPredictor
 {
   public:
     /**

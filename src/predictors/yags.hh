@@ -19,7 +19,7 @@
 namespace pcbp
 {
 
-class Yags : public DirectionPredictor
+class Yags final : public DirectionPredictor
 {
   public:
     /**

@@ -8,31 +8,36 @@
 namespace pcbp
 {
 
+void
+CommittedStream::growWindow()
+{
+    std::vector<CommittedBranch> bigger(window.size() * 2);
+    for (std::size_t i = 0; i < count; ++i)
+        bigger[i] = window[(head + i) & (window.size() - 1)];
+    window = std::move(bigger);
+    head = 0;
+}
+
 const CommittedBranch *
-CommittedStream::at(std::uint64_t idx)
+CommittedStream::atSlow(std::uint64_t idx)
 {
     pcbp_assert(idx >= base, "reading a released committed record");
-    while (!ended && base + window.size() <= idx) {
+    while (!ended && base + count <= idx) {
+        if (count == window.size())
+            growWindow();
         CommittedBranch r;
         if (!produceNext(r)) {
             ended = true;
             break;
         }
-        window.push_back(r);
-        peak = std::max(peak, window.size());
+        window[(head + count) & (window.size() - 1)] = r;
+        ++count;
+        peak = std::max(peak, count);
     }
-    if (idx < base + window.size())
-        return &window[static_cast<std::size_t>(idx - base)];
+    if (idx < base + count)
+        return &window[(head + static_cast<std::size_t>(idx - base)) &
+                       (window.size() - 1)];
     return nullptr;
-}
-
-void
-CommittedStream::release(std::uint64_t idx)
-{
-    while (base < idx && !window.empty()) {
-        window.pop_front();
-        ++base;
-    }
 }
 
 ProgramWalkStream::ProgramWalkStream(Program &program_,

@@ -30,10 +30,10 @@
 #define PCBP_SIM_COMMITTED_STREAM_HH
 
 #include <cstdio>
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "workload/cfg.hh"
 
 namespace pcbp
@@ -45,6 +45,13 @@ namespace pcbp
  * Usage contract: at(i) is valid for any i not yet released; records
  * below the release floor are gone for good (asserted). Streams are
  * single-use — construct a fresh one per run.
+ *
+ * The resident window is a power-of-two ring buffer and the
+ * window-hit path of at()/release() is inline: both simulators call
+ * them once per committed branch, so the common case — the record is
+ * already resident — must cost an index mask, not an out-of-line
+ * call into deque bookkeeping. Production (the virtual produceNext)
+ * happens on the atSlow() refill path only.
  */
 class CommittedStream
 {
@@ -56,30 +63,59 @@ class CommittedStream
      * Returns nullptr once @p idx is at or past the end of the
      * stream. The pointer is invalidated by the next at()/release().
      */
-    const CommittedBranch *at(std::uint64_t idx);
+    const CommittedBranch *
+    at(std::uint64_t idx)
+    {
+        pcbp_dassert(idx >= base, "reading a released committed record");
+        if (idx - base < count) {
+            return &window[static_cast<std::size_t>(head + (idx - base)) &
+                           (window.size() - 1)];
+        }
+        return atSlow(idx);
+    }
 
     /** Allow records at indices below @p idx to be discarded. */
-    void release(std::uint64_t idx);
+    void
+    release(std::uint64_t idx)
+    {
+        while (base < idx && count > 0) {
+            head = (head + 1) & (window.size() - 1);
+            ++base;
+            --count;
+        }
+    }
 
     /** Total records this stream will produce. */
     virtual std::uint64_t length() const = 0;
 
     /** Records currently resident in the window. */
-    std::size_t windowSize() const { return window.size(); }
+    std::size_t windowSize() const { return count; }
 
     /** High-water mark of the window — the memory bound under test. */
     std::size_t windowPeak() const { return peak; }
 
     /** Records produced so far (window base + window size). */
-    std::uint64_t produced() const { return base + window.size(); }
+    std::uint64_t produced() const { return base + count; }
 
   protected:
+    CommittedStream() : window(kInitialWindow) {}
+
     /** Produce the next record; false once the stream is done. */
     virtual bool produceNext(CommittedBranch &out) = 0;
 
   private:
-    std::deque<CommittedBranch> window;
-    std::uint64_t base = 0;
+    static constexpr std::size_t kInitialWindow = 64;
+
+    /** Refill the window up to @p idx (or the end of the stream). */
+    const CommittedBranch *atSlow(std::uint64_t idx);
+
+    /** Double the ring (record order preserved); stays 2^n. */
+    void growWindow();
+
+    std::vector<CommittedBranch> window; //!< 2^n ring buffer
+    std::size_t head = 0;                //!< ring slot of `base`
+    std::size_t count = 0;               //!< resident records
+    std::uint64_t base = 0;              //!< absolute index of `head`
     std::size_t peak = 0;
     bool ended = false;
 };

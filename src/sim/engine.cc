@@ -54,12 +54,13 @@ Engine::critiqueReady()
         return;
     const unsigned want = std::max(1u, hybrid.numFutureBits());
 
-    for (std::size_t i = 0; i < core.queueSize(); ++i) {
-        if (core.at(i).critiqued)
-            continue;
-        if (core.futureBitsAvailable(i) < want)
+    // Issue critiques oldest-first, resuming at the core's cached
+    // oldest-uncritiqued cursor instead of rescanning the pipeline.
+    for (std::optional<std::size_t> idx = core.oldestUncriticized();
+         idx; idx = core.nextUncritiqued(*idx + 1)) {
+        if (core.futureBitsAvailable(*idx) < want)
             break; // younger branches have even fewer bits
-        if (critiqueAt(i))
+        if (critiqueAt(*idx))
             break; // override squashed the younger entries
     }
 }

@@ -5,12 +5,21 @@
 namespace pcbp
 {
 
+namespace
+{
+
+/** Initial checkpoint-arena capacity (grows on demand, stays 2^n). */
+constexpr std::size_t kInitialSlabSize = 64;
+
+} // namespace
+
 template <typename Payload>
 SpecCore<Payload>::SpecCore(Program &program_,
                             ProphetCriticHybrid &hybrid_,
                             const SpecCoreConfig &config)
     : program(program_), hybrid(hybrid_), cfg(config),
-      btb(config.btbEntries, config.btbWays)
+      btb(config.btbEntries, config.btbWays),
+      slab(kInitialSlabSize)
 {
 }
 
@@ -26,21 +35,47 @@ SpecCore<Payload>::beginRun(CommittedStream *oracle_,
     oracleLimit = oracle_limit;
     fetchBlock = start_block;
     specTraceIdx = 0;
-    q.clear();
+    headAbs = 0;
+    tailAbs = 0;
+    firstUncritAbs = 0;
+    hitsFetched = 0;
+}
+
+template <typename Payload>
+void
+SpecCore<Payload>::growSlab()
+{
+    // Re-linearize the live queue into a doubled slab; absolute
+    // indices keep their meaning because the new size is still a
+    // power of two and every live record lands at the slot its
+    // absolute index selects.
+    std::vector<Record> bigger(slab.size() * 2);
+    for (std::size_t abs = headAbs; abs != tailAbs; ++abs) {
+        bigger[abs & (bigger.size() - 1)] =
+            std::move(slab[abs & (slab.size() - 1)]);
+    }
+    slab = std::move(bigger);
 }
 
 template <typename Payload>
 typename SpecCore<Payload>::Record &
 SpecCore<Payload>::fetchNext()
 {
+    if (tailAbs - headAbs == slab.size())
+        growSlab();
+
     const BasicBlock &b = program.block(fetchBlock);
 
-    Record r;
+    // Reuse the pooled slot in place: no construction, no allocation.
+    Record &r = rec(tailAbs);
     r.block = fetchBlock;
     r.pc = b.branchPc;
     r.numUops = b.numUops;
     r.traceIdx = specTraceIdx++;
     r.btbHit = !cfg.useBtb || btb.lookup(r.pc);
+    r.critiqued = false;
+    r.decision.reset();
+    r.payload = Payload{};
 
     if (r.btbHit) {
         r.prophetPred = hybrid.predictBranch(r.pc, r.ctx);
@@ -56,9 +91,12 @@ SpecCore<Payload>::fetchNext()
         r.ctx.borBefore = hybrid.bor();
     }
 
+    hitsFetched += r.btbHit ? 1 : 0;
+    r.hitsCum = hitsFetched;
+
     fetchBlock = program.successor(fetchBlock, r.finalPred);
-    q.push_back(std::move(r));
-    return q.back();
+    ++tailAbs;
+    return r;
 }
 
 template <typename Payload>
@@ -66,20 +104,23 @@ unsigned
 SpecCore<Payload>::futureBitsAvailable(std::size_t idx) const
 {
     const unsigned want = std::max(1u, hybrid.numFutureBits());
-    unsigned avail = hybrid.numFutureBits() == 0 ? want : 1;
-    for (std::size_t j = idx + 1; j < q.size() && avail < want; ++j) {
-        if (q[j].btbHit)
-            ++avail;
-    }
-    return avail;
+    if (hybrid.numFutureBits() == 0)
+        return want;
+    // 1 (the entry's own prediction) + the BTB-hitting fetches
+    // younger than it, saturated at the requirement — a counter
+    // difference instead of a queue walk.
+    const std::uint64_t younger_hits =
+        hitsFetched - rec(headAbs + idx).hitsCum;
+    const std::uint64_t avail = 1 + younger_hits;
+    return avail >= want ? want : static_cast<unsigned>(avail);
 }
 
 template <typename Payload>
 CritiqueOutcome
 SpecCore<Payload>::critique(std::size_t idx)
 {
-    Record &r = q[idx];
-    pcbp_assert(!r.critiqued && r.btbHit);
+    Record &r = rec(headAbs + idx);
+    pcbp_dassert(!r.critiqued && r.btbHit);
 
     const unsigned want = hybrid.numFutureBits();
     fbScratch.clear();
@@ -103,9 +144,10 @@ SpecCore<Payload>::critique(std::size_t idx)
             // oldest first.
             fbScratch.push(r.prophetPred);
             for (std::size_t j = idx + 1;
-                 j < q.size() && fbScratch.size() < want; ++j) {
-                if (q[j].btbHit)
-                    fbScratch.push(q[j].prophetPred);
+                 j < queueSize() && fbScratch.size() < want; ++j) {
+                const Record &y = rec(headAbs + j);
+                if (y.btbHit)
+                    fbScratch.push(y.prophetPred);
             }
         }
     }
@@ -121,13 +163,20 @@ SpecCore<Payload>::critique(std::size_t idx)
     r.decision = std::move(d);
 
     if (out.overrode) {
-        out.squashed = q.size() - idx - 1;
+        out.squashed = queueSize() - idx - 1;
+#if !defined(NDEBUG) || defined(PCBP_FORCE_DASSERT)
         // Queue-only flush: every younger prediction is uncritiqued
         // (critiques are issued oldest-first), so the flush is
         // confined to the queue (§5).
-        for (std::size_t j = idx + 1; j < q.size(); ++j)
-            pcbp_assert(!q[j].btbHit || !q[j].critiqued);
-        q.resize(idx + 1);
+        for (std::size_t j = idx + 1; j < queueSize(); ++j) {
+            const Record &y = rec(headAbs + j);
+            pcbp_assert(!y.btbHit || !y.critiqued);
+        }
+#endif
+        tailAbs = headAbs + idx + 1;
+        hitsFetched = r.hitsCum;
+        if (firstUncritAbs > tailAbs)
+            firstUncritAbs = tailAbs;
         hybrid.overrideRedirect(r.ctx, r.finalPred);
         fetchBlock = program.successor(r.block, r.finalPred);
         specTraceIdx = r.traceIdx + 1;
@@ -171,17 +220,19 @@ template <typename Payload>
 typename SpecCore<Payload>::Record &
 SpecCore<Payload>::front()
 {
-    pcbp_assert(!q.empty());
-    return q.front();
+    pcbp_dassert(!queueEmpty());
+    return rec(headAbs);
 }
 
 template <typename Payload>
 typename SpecCore<Payload>::Record
 SpecCore<Payload>::popFront()
 {
-    pcbp_assert(!q.empty());
-    Record r = std::move(q.front());
-    q.pop_front();
+    pcbp_dassert(!queueEmpty());
+    Record r = rec(headAbs);
+    ++headAbs;
+    if (firstUncritAbs < headAbs)
+        firstUncritAbs = headAbs;
     return r;
 }
 
@@ -189,8 +240,19 @@ template <typename Payload>
 std::optional<std::size_t>
 SpecCore<Payload>::oldestUncriticized() const
 {
-    for (std::size_t i = 0; i < q.size(); ++i)
-        if (!q[i].critiqued)
+    while (firstUncritAbs < tailAbs && rec(firstUncritAbs).critiqued)
+        ++firstUncritAbs;
+    if (firstUncritAbs == tailAbs)
+        return std::nullopt;
+    return firstUncritAbs - headAbs;
+}
+
+template <typename Payload>
+std::optional<std::size_t>
+SpecCore<Payload>::nextUncritiqued(std::size_t from) const
+{
+    for (std::size_t i = from; i < queueSize(); ++i)
+        if (!rec(headAbs + i).critiqued)
             return i;
     return std::nullopt;
 }

@@ -25,7 +25,16 @@
  * in-flight SpecRecords (the Engine's whole pipeline, the
  * TimingSim's FTQ), the BTB, the speculative fetch pointer, and a
  * reusable future-bit scratch buffer so the hot critique path does
- * no heap allocation. What differs per simulator — when to fetch,
+ * no heap allocation. The queue is a power-of-two ring-buffer arena:
+ * records — each carrying its two-register checkpoint — live in a
+ * slab that is allocated once and reused in place, so pushing,
+ * popping, and override-flushing a branch are index arithmetic under
+ * a mask, never allocation (the slab only grows, rarely, when a
+ * caller exceeds its previous high-water queue depth). Each record
+ * also carries a running count of BTB-hitting fetches, which turns
+ * the per-critique "how many future bits could I gather" question
+ * from a queue walk into a subtraction. What differs per simulator —
+ * when to fetch,
  * when the critic gets bandwidth, what leaves the queue into a
  * backing instruction window, and which cycles anything costs — is
  * caller policy layered on these primitives. Per-model state rides
@@ -49,8 +58,8 @@
 #ifndef PCBP_SIM_SPEC_CORE_HH
 #define PCBP_SIM_SPEC_CORE_HH
 
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/future_bits.hh"
 #include "core/prophet_critic.hh"
@@ -80,6 +89,14 @@ struct SpecRecord
     std::optional<CritiqueDecision> decision;
     BranchContext ctx;
     Payload payload{};
+
+    /**
+     * Running count of BTB-hitting fetches up to and including this
+     * record (arena-internal): the future bits gatherable behind
+     * queue entry i are a difference of two of these counters
+     * instead of a walk over the younger entries.
+     */
+    std::uint64_t hitsCum = 0;
 };
 
 /** The accuracy engine needs nothing beyond the shared record. */
@@ -227,22 +244,42 @@ class SpecCore
      */
     void commitTrain(const Record &r, bool outcome);
 
-    /** @name The speculation queue (engine pipeline / timing FTQ). */
+    /** @name The speculation queue (engine pipeline / timing FTQ).
+     *
+     * A power-of-two ring over a slab of pooled records (the
+     * checkpoint arena): all four operations below are mask
+     * arithmetic, and references stay valid until the next
+     * fetchNext() (which may, rarely, grow the slab).
+     */
     /// @{
-    bool queueEmpty() const { return q.empty(); }
-    std::size_t queueSize() const { return q.size(); }
-    Record &at(std::size_t i) { return q[i]; }
-    const Record &at(std::size_t i) const { return q[i]; }
+    bool queueEmpty() const { return headAbs == tailAbs; }
+    std::size_t queueSize() const { return tailAbs - headAbs; }
+    Record &at(std::size_t i) { return rec(headAbs + i); }
+    const Record &at(std::size_t i) const { return rec(headAbs + i); }
     Record &front();
 
     /** Pop the oldest record out of the queue (to commit/consume). */
     Record popFront();
 
-    /** Index of the oldest uncritiqued entry, if any. */
+    /**
+     * Index of the oldest uncritiqued entry, if any. Amortized O(1):
+     * a cached cursor advances monotonically until the next flush.
+     */
     std::optional<std::size_t> oldestUncriticized() const;
 
+    /**
+     * Index of the first uncritiqued entry at or after @p from
+     * (critique-issue scans resume here after critiquing an entry).
+     */
+    std::optional<std::size_t> nextUncritiqued(std::size_t from) const;
+
     /** Drop everything queued (pipeline flush). */
-    void clearQueue() { q.clear(); }
+    void
+    clearQueue()
+    {
+        headAbs = tailAbs;
+        firstUncritAbs = tailAbs;
+    }
     /// @}
 
     /** Next speculative trace index (diagnostics/tests). */
@@ -254,7 +291,22 @@ class SpecCore
     SpecCoreConfig cfg;
     Btb btb;
 
-    std::deque<Record> q;
+    /**
+     * The checkpoint arena: a power-of-two slab addressed by
+     * absolute record indices under a mask. headAbs..tailAbs are the
+     * live queue; indices only ever increase (flushes pull tailAbs
+     * back, which re-pools the flushed slots in place).
+     */
+    std::vector<Record> slab;
+    std::size_t headAbs = 0;
+    std::size_t tailAbs = 0;
+
+    /** Cached oldest-uncritiqued cursor (absolute; advances lazily). */
+    mutable std::size_t firstUncritAbs = 0;
+
+    /** BTB-hitting fetches ever appended (hitsCum baseline). */
+    std::uint64_t hitsFetched = 0;
+
     CommittedStream *oracle = nullptr;
     std::uint64_t oracleLimit = 0;
     BlockId fetchBlock = 0;
@@ -262,6 +314,16 @@ class SpecCore
 
     /** Reusable gather buffer: no allocation on the critique path. */
     FutureBits fbScratch;
+
+    Record &rec(std::size_t abs) { return slab[abs & (slab.size() - 1)]; }
+    const Record &
+    rec(std::size_t abs) const
+    {
+        return slab[abs & (slab.size() - 1)];
+    }
+
+    /** Double the slab (record order preserved); stays power-of-two. */
+    void growSlab();
 };
 
 extern template class SpecCore<EnginePayload>;

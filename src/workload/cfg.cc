@@ -38,7 +38,7 @@ Program::validate() const
 const BasicBlock &
 Program::block(BlockId id) const
 {
-    pcbp_assert(id < blocks.size());
+    pcbp_dassert(id < blocks.size());
     return blocks[id];
 }
 
@@ -59,7 +59,7 @@ Program::successor(BlockId id, bool taken) const
 bool
 Program::evalOutcome(BlockId id)
 {
-    pcbp_assert(id < blocks.size());
+    pcbp_dassert(id < blocks.size());
     const ArchContext ctx{committed, commits};
     const bool taken = blocks[id].behavior->nextOutcome(ctx);
     committed.shiftIn(taken);

@@ -12,7 +12,14 @@ reference paths relative to their output directory) and fails on:
   * backticked or bare references to repository paths
     (src/..., bench/..., tools/..., tests/..., examples/..., docs/...)
     that do not exist (glob patterns are expanded; a pattern matching
-    nothing fails).
+    nothing fails);
+  * commands in fenced shell blocks (```sh / ```bash) that name
+    binaries the build does not produce: `build/<name>` and `./<name>`
+    must match a source stem in bench/, examples/, or tools/ (every
+    file there builds to an executable of its stem), relative paths
+    must exist, and anything else must be a known external command
+    (cmake, ctest, python3, ...). This is what keeps quickstart
+    commands runnable after a binary is renamed or migrated.
 
 Usage: python3 tools/check_docs.py [repo-root]
 Exits non-zero with one line per problem.
@@ -31,6 +38,91 @@ HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
 PATH_RE = re.compile(
     r"(?<![\w/.])((?:src|bench|tools|tests|examples|docs)/"
     r"[A-Za-z0-9_./*-]*)")
+
+
+# Any ``` line toggles fence state; the info string may carry extra
+# words (```sh title=x), so capture everything and take the first
+# token as the language.
+FENCE_RE = re.compile(r"^```(.*)$")
+SHELL_LANGS = {"sh", "bash", "shell", "console"}
+# External commands docs may legitimately invoke.
+KNOWN_COMMANDS = {
+    "cmake", "ctest", "python3", "python", "cd", "ls", "cat", "head",
+    "tail", "diff", "cmp", "printf", "echo", "exit", "true", "false",
+    "test", "export", "git", "mkdir", "rm", "cp", "mv", "grep", "sed",
+    "sort", "tee",
+}
+ENV_ASSIGN_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+
+
+def built_binary_stems(root):
+    """Executable names the build produces: one per source stem in
+    bench/, examples/, tools/, and tests/ (mirrors the CMakeLists
+    globs; tests build when GTest is available)."""
+    stems = set()
+    for d in ("bench", "examples", "tools", "tests"):
+        for path in glob.glob(os.path.join(root, d, "*.cc")):
+            stems.add(os.path.splitext(os.path.basename(path))[0])
+    return stems
+
+
+def iter_shell_commands(text):
+    """Yield every command string inside ```sh/```bash fences,
+    continuation lines joined, comments stripped, &&/||/;/| split."""
+    lang = None
+    pending = ""
+    for line in text.splitlines():
+        fence = FENCE_RE.match(line.strip())
+        if fence:
+            if lang is None:  # opening fence: first info-string token
+                info = fence.group(1).strip().split()
+                lang = info[0].lower() if info else ""
+            else:  # closing fence
+                lang = None
+            pending = ""
+            continue
+        if lang not in SHELL_LANGS:
+            continue
+        line = pending + line
+        pending = ""
+        if line.rstrip().endswith("\\"):
+            pending = line.rstrip()[:-1] + " "
+            continue
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        for part in re.split(r"&&|\|\||;|\|", line):
+            if part.strip():
+                yield part.strip()
+
+
+def check_shell_commands(root, rel, text, problems):
+    stems = built_binary_stems(root)
+    for command in iter_shell_commands(text):
+        tokens = command.split()
+        while tokens and ENV_ASSIGN_RE.match(tokens[0]):
+            tokens.pop(0)
+        if not tokens:
+            continue
+        cmd = tokens[0]
+        if cmd in KNOWN_COMMANDS:
+            continue
+        name = None
+        if cmd.startswith("build/"):
+            name = cmd[len("build/"):]
+        elif cmd.startswith("./"):
+            name = cmd[len("./"):]
+        if name is not None:
+            if name not in stems:
+                problems.append(
+                    f"{rel}: shell block names unbuilt binary: {cmd}")
+        elif "/" in cmd:
+            if not os.path.exists(os.path.join(root, cmd)):
+                problems.append(
+                    f"{rel}: shell block names missing path: {cmd}")
+        else:
+            problems.append(
+                f"{rel}: shell block uses unknown command: {cmd}")
 
 
 def github_slug(heading):
@@ -81,6 +173,8 @@ def check_file(root, path, problems):
     rel = os.path.relpath(path, root)
     text = open(path, encoding="utf-8").read()
     base = os.path.dirname(path)
+
+    check_shell_commands(root, rel, text, problems)
 
     for m in LINK_RE.finditer(text):
         target = m.group(1)

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * pcbp_bench — the performance benchmark CLI.
+ *
+ *   pcbp_bench list
+ *       Every registered benchmark: name, group, unit, description.
+ *
+ *   pcbp_bench run [--quick] [--filter SUBSTRS] [--name LABEL]
+ *                  [--out DIR] [--repeats N] [--workload NAME]
+ *       Measure the selected benchmarks (all when no --filter;
+ *       comma-separated substrings match any, e.g.
+ *       "engine.,timing.") and
+ *       write `BENCH_<LABEL>.json` (deterministic pcbp-bench-1
+ *       schema) plus `BENCH_<LABEL>.md` (the Markdown summary, also
+ *       printed to stdout) into DIR (default "."). --workload
+ *       retargets the engine/timing benches at any registry workload
+ *       or trace:<path>. PCBP_BENCH_SCALE scales the work.
+ *
+ *   pcbp_bench compare --baseline FILE CURRENT_FILE
+ *                      [--threshold FRACTION] [--warn-only]
+ *       Join two artifacts by benchmark name, print the comparison
+ *       table, and exit 1 when any benchmark's throughput dropped
+ *       more than the threshold (default 0.10 = 10%) below the
+ *       baseline — unless --warn-only (shared-runner CI), which
+ *       always exits 0. See docs/PERFORMANCE.md for methodology.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "perf/bench_report.hh"
+
+using namespace pcbp;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " COMMAND [options]\n"
+        << "  list\n"
+        << "  run     [--quick] [--filter SUBSTRS] [--name LABEL]"
+           " [--out DIR]\n"
+        << "          [--repeats N] [--workload NAME]\n"
+        << "  compare --baseline FILE CURRENT_FILE"
+           " [--threshold FRACTION] [--warn-only]\n";
+    std::exit(2);
+}
+
+struct Args
+{
+    std::string filter;
+    std::string name = "run";
+    std::string out = ".";
+    std::string workload;
+    std::string baseline;
+    std::string current;
+    double threshold = 0.10;
+    unsigned repeats = 0;
+    bool quick = false;
+    bool warnOnly = false;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--filter")
+            a.filter = next();
+        else if (arg == "--name")
+            a.name = next();
+        else if (arg == "--out")
+            a.out = next();
+        else if (arg == "--workload")
+            a.workload = next();
+        else if (arg == "--baseline")
+            a.baseline = next();
+        else if (arg == "--threshold")
+            a.threshold = std::atof(next().c_str());
+        else if (arg == "--repeats")
+            a.repeats = static_cast<unsigned>(std::atoi(next().c_str()));
+        else if (arg == "--quick")
+            a.quick = true;
+        else if (arg == "--warn-only")
+            a.warnOnly = true;
+        else if (!arg.empty() && arg[0] != '-' && a.current.empty())
+            a.current = arg;
+        else
+            usage(argv[0]);
+    }
+    return a;
+}
+
+int
+cmdList()
+{
+    for (const BenchDef &d : allBenches()) {
+        std::printf("%-26s %-9s %-9s %s\n", d.name.c_str(),
+                    d.group.c_str(), (d.unit + "/s").c_str(),
+                    d.description.c_str());
+    }
+    return 0;
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        pcbp_fatal("cannot write '", path, "'");
+    out << content;
+    if (!out.flush())
+        pcbp_fatal("short write to '", path, "'");
+}
+
+int
+cmdRun(const Args &a)
+{
+    BenchContext ctx;
+    ctx.quick = a.quick;
+    ctx.workload = a.workload;
+    ctx.repeats = a.repeats;
+
+    const std::vector<const BenchDef *> defs = benchesMatching(a.filter);
+    if (defs.empty())
+        pcbp_fatal("no benchmark matches filter '", a.filter, "'");
+
+    const BenchRun run =
+        BenchRun::fromResults(a.name, ctx, runBenches(defs, ctx));
+    const std::string stem = a.out + "/BENCH_" + a.name;
+    const ReportTable table = benchRunTable(run);
+    writeFileOrDie(stem + ".json", benchRunToJson(run));
+    writeFileOrDie(stem + ".md", table.toMarkdown());
+    std::cout << table.toMarkdown();
+    std::fprintf(stderr, "wrote %s.json and %s.md\n", stem.c_str(),
+                 stem.c_str());
+    return 0;
+}
+
+int
+cmdCompare(const Args &a)
+{
+    if (a.baseline.empty() || a.current.empty())
+        pcbp_fatal("compare needs --baseline FILE and a current file");
+
+    const BenchRun base = loadBenchRun(a.baseline);
+    const BenchRun cur = loadBenchRun(a.current);
+    const BenchComparison cmp =
+        compareBenchRuns(base, cur, a.threshold);
+    std::cout << benchComparisonTable(cmp, a.threshold).toMarkdown();
+
+    if (cmp.regressed && !a.warnOnly) {
+        std::fprintf(stderr, "regression beyond threshold\n");
+        return 1;
+    }
+    if (cmp.regressed)
+        std::fprintf(stderr, "regression beyond threshold (warn-only)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+    const std::string cmd = argv[1];
+    const Args a = parseArgs(argc, argv);
+    // Only compare takes a positional (the current artifact); a bare
+    // argument elsewhere is a mistake (`run engine.gshare` instead of
+    // `run --filter engine.gshare`) and must not silently run
+    // everything.
+    if (cmd != "compare" && !a.current.empty())
+        usage(argv[0]);
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(a);
+    if (cmd == "compare")
+        return cmdCompare(a);
+    usage(argv[0]);
+}
