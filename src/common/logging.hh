@@ -8,8 +8,10 @@
 #ifndef PCBP_COMMON_LOGGING_HH
 #define PCBP_COMMON_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace pcbp
 {
@@ -27,6 +29,44 @@ void warnImpl(const std::string &msg);
 
 /** Print "info: <msg>" to stderr and continue. */
 void informImpl(const std::string &msg);
+
+/** Log verbosity, selected by the PCBP_LOG_LEVEL environment variable
+ *  ("quiet"/"error", "warn", "info"; default info = everything). */
+enum class LogLevel
+{
+    Error = 0, //!< only panic/fatal reach stderr
+    Warn = 1,  //!< + pcbp_warn
+    Info = 2   //!< + pcbp_inform and progress lines (default)
+};
+
+/** The effective level (PCBP_LOG_LEVEL, read once). */
+LogLevel logLevel();
+
+/**
+ * Emit one complete line through the process-wide mutex-guarded log
+ * sink. Every diagnostic writer — warn/inform, panic/fatal preambles,
+ * the progress heartbeat — funnels through here, so lines from
+ * concurrent ThreadPool workers never interleave mid-message.
+ * Bypasses the level filter: callers filter before formatting.
+ */
+void logRawLine(const std::string &line);
+
+/**
+ * Test seam: while alive, logRawLine() appends lines here instead of
+ * writing stderr. Not reentrant — one capture at a time.
+ */
+class ScopedLogCapture
+{
+  public:
+    ScopedLogCapture();
+    ~ScopedLogCapture();
+
+    ScopedLogCapture(const ScopedLogCapture &) = delete;
+    ScopedLogCapture &operator=(const ScopedLogCapture &) = delete;
+
+    /** Captured lines, in emission order (copied under the sink lock). */
+    std::vector<std::string> lines() const;
+};
 
 namespace detail
 {

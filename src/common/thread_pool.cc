@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/span_trace.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -14,6 +16,7 @@ ThreadPool::ThreadPool(unsigned workers)
     queues.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
         queues.push_back(std::make_unique<WorkQueue>());
+    counters.resize(workers);
     threads.reserve(workers - 1);
     for (unsigned i = 1; i < workers; ++i)
         threads.emplace_back([this, i] { workerLoop(i); });
@@ -63,10 +66,16 @@ ThreadPool::drain(unsigned self)
 {
     std::size_t done = 0;
     std::size_t idx;
-    while (popOwn(self, idx) || stealOther(self, idx)) {
+    while (true) {
+        const bool own = popOwn(self, idx);
+        if (!own && !stealOther(self, idx))
+            break;
+        ++counters[self].tasks;
+        if (!own)
+            ++counters[self].steals;
         // `job` is only read once a task is held: tasks imply
         // `remaining > 0`, which keeps the batch's job published.
-        (*job)(idx);
+        (*job)(idx, self);
         ++done;
     }
     if (done == 0)
@@ -82,6 +91,7 @@ ThreadPool::workerLoop(unsigned self)
 {
     std::uint64_t seen = 0;
     for (;;) {
+        const std::uint64_t idleFrom = obsNanos();
         {
             std::unique_lock<std::mutex> lk(batchMutex);
             workCv.wait(lk,
@@ -90,6 +100,7 @@ ThreadPool::workerLoop(unsigned self)
                 return;
             seen = epoch;
         }
+        counters[self].idleNs += obsNanos() - idleFrom;
         drain(self);
     }
 }
@@ -98,9 +109,18 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
+    parallelFor(n, std::function<void(std::size_t, unsigned)>(
+                       [&fn](std::size_t i, unsigned) { fn(i); }));
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t n, const std::function<void(std::size_t, unsigned)> &fn)
+{
     if (n == 0)
         return;
     std::lock_guard<std::mutex> call(callMutex);
+    ++batches;
 
     // Publish the batch BEFORE queueing any index: a straggler from
     // the previous batch still scanning the deques may pop a new
@@ -128,6 +148,30 @@ ThreadPool::parallelFor(std::size_t n,
     std::unique_lock<std::mutex> lk(batchMutex);
     doneCv.wait(lk, [&] { return remaining == 0; });
     job = nullptr;
+}
+
+void
+ThreadPool::exportStats(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    std::uint64_t tasks = 0, steals = 0, idle = 0;
+    for (unsigned i = 0; i < counters.size(); ++i) {
+        const WorkerCounters &c = counters[i];
+        tasks += c.tasks;
+        steals += c.steals;
+        idle += c.idleNs;
+        const std::string w = prefix + ".worker" + std::to_string(i);
+        reg.addHost(w + ".tasks", c.tasks);
+        reg.addHost(w + ".steals", c.steals);
+        reg.addHost(w + ".idle_ns", c.idleNs);
+    }
+    // add (not set): sequential pools — one per sweep in a repro
+    // run — accumulate into a single run-wide registry.
+    reg.setHostMax(prefix + ".workers", numWorkers());
+    reg.addHost(prefix + ".batches", batches);
+    reg.addHost(prefix + ".tasks", tasks);
+    reg.addHost(prefix + ".steals", steals);
+    reg.addHost(prefix + ".idle_ns", idle);
 }
 
 ThreadPool &

@@ -35,6 +35,8 @@
 namespace pcbp
 {
 
+class StatRegistry;
+
 class ThreadPool
 {
   public:
@@ -60,6 +62,26 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Worker-aware variant: `fn(i, worker)` also receives the id of
+     * the worker executing index i (0 = the calling thread). Lets
+     * callers keep per-worker scratch state or tag trace spans with
+     * the thread that really ran the work — worker identity is
+     * nondeterministic under stealing, so it must never influence
+     * results, only observability.
+     */
+    void parallelFor(
+        std::size_t n,
+        const std::function<void(std::size_t, unsigned)> &fn);
+
+    /**
+     * Export lifetime pool counters (tasks run, steals, sleep time
+     * per worker) into @p reg's host section under `prefix.*`. Call
+     * only while no batch is in flight.
+     */
+    void exportStats(StatRegistry &reg,
+                     const std::string &prefix = "pool") const;
+
     /** Process-wide pool sized to the hardware (lazily created). */
     static ThreadPool &shared();
 
@@ -71,6 +93,19 @@ class ThreadPool
         std::deque<std::size_t> d;
     };
 
+    /**
+     * Lifetime counters, one slab per worker. Each slab is written
+     * only by its owning worker (drain/workerLoop index by `self`),
+     * so increments need no synchronization; exportStats reads them
+     * between batches, when all workers are quiescent.
+     */
+    struct WorkerCounters
+    {
+        std::uint64_t tasks = 0;  //!< indices executed
+        std::uint64_t steals = 0; //!< of which taken from a victim
+        std::uint64_t idleNs = 0; //!< time asleep waiting for work
+    };
+
     bool popOwn(unsigned self, std::size_t &idx);
     bool stealOther(unsigned self, std::size_t &idx);
     void drain(unsigned self);
@@ -78,13 +113,15 @@ class ThreadPool
 
     std::vector<std::unique_ptr<WorkQueue>> queues;
     std::vector<std::thread> threads;
+    std::vector<WorkerCounters> counters;
+    std::uint64_t batches = 0; // parallelFor calls; under callMutex
 
     // Batch state: a monotonically increasing epoch publishes each
     // parallelFor call to the sleeping workers.
     std::mutex batchMutex;
     std::condition_variable workCv;
     std::condition_variable doneCv;
-    const std::function<void(std::size_t)> *job = nullptr;
+    const std::function<void(std::size_t, unsigned)> *job = nullptr;
     std::uint64_t epoch = 0;
     std::size_t remaining = 0;
     bool shutdown = false;

@@ -147,4 +147,13 @@ ProphetCriticHybrid::name() const
            std::to_string(cfg.numFutureBits) + "fb";
 }
 
+void
+ProphetCriticHybrid::exportStats(StatRegistry &reg,
+                                 const std::string &prefix) const
+{
+    prophet->exportStats(reg, prefix + ".prophet");
+    if (critic)
+        critic->exportStats(reg, prefix + ".critic");
+}
+
 } // namespace pcbp

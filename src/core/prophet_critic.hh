@@ -161,6 +161,13 @@ class ProphetCriticHybrid
     bool hasCritic() const { return critic != nullptr; }
     unsigned numFutureBits() const { return cfg.numFutureBits; }
 
+    /**
+     * Export component stats into @p reg's sim section: the
+     * prophet's under `prefix.prophet.*` and, when a critic is
+     * configured, the critic's under `prefix.critic.*`.
+     */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
+
     /** Live speculative registers (exposed for tests/examples). */
     const HistoryRegister &bhr() const { return liveBhr; }
     const HistoryRegister &bor() const { return liveBor; }

@@ -1,0 +1,133 @@
+#include "obs/progress.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "obs/span_trace.hh"
+
+namespace pcbp
+{
+
+namespace
+{
+
+/** "3.4M", "12.1k", "845" — compact rate formatting. */
+std::string
+fmtCount(double v)
+{
+    char buf[32];
+    if (v >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.1fG", v / 1e9);
+    else if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+std::string
+fmtEta(double seconds)
+{
+    char buf[32];
+    if (seconds >= 3600.0)
+        std::snprintf(buf, sizeof(buf), "%.0fh%02.0fm",
+                      seconds / 3600.0,
+                      (seconds - 3600.0 * int(seconds / 3600.0)) / 60.0);
+    else if (seconds >= 60.0)
+        std::snprintf(buf, sizeof(buf), "%.0fm%02.0fs",
+                      seconds / 60.0,
+                      seconds - 60.0 * int(seconds / 60.0));
+    else
+        std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+    return buf;
+}
+
+} // namespace
+
+ProgressMeter::ProgressMeter(std::uint64_t total_units,
+                             std::string unit_name,
+                             std::uint64_t min_interval_ms)
+    : total(total_units), unit(std::move(unit_name)),
+      intervalNs(min_interval_ms * 1000000ull), startNs(obsNanos())
+{
+}
+
+void
+ProgressMeter::setResumed(std::uint64_t units)
+{
+    std::lock_guard<std::mutex> lk(m);
+    resumed = units;
+}
+
+std::string
+ProgressMeter::line() const
+{
+    const std::uint64_t done_units = resumed + completed;
+    const double elapsed =
+        double(obsNanos() - startNs) / 1e9;
+    const double pct =
+        total ? 100.0 * double(done_units) / double(total) : 0.0;
+
+    std::string s = "progress: " + std::to_string(done_units) + "/" +
+                    std::to_string(total) + " " + unit;
+    char pctbuf[16];
+    std::snprintf(pctbuf, sizeof(pctbuf), " (%.0f%%)", pct);
+    s += pctbuf;
+    if (elapsed > 0.0 && branches > 0)
+        s += " | " + fmtCount(double(branches) / elapsed) +
+             " branches/s";
+    if (completed > 0 && done_units < total) {
+        const double per_unit = elapsed / double(completed);
+        s += " | ETA " +
+             fmtEta(per_unit * double(total - done_units));
+    }
+    return s;
+}
+
+void
+ProgressMeter::tick(std::uint64_t cell_branches)
+{
+    if (logLevel() < LogLevel::Info)
+        return;
+    std::string out;
+    {
+        std::lock_guard<std::mutex> lk(m);
+        ++completed;
+        branches += cell_branches;
+        const std::uint64_t now = obsNanos();
+        // Always emit the first tick and the grid-completing one.
+        if (lastEmitNs != 0 && now < lastEmitNs + intervalNs &&
+            resumed + completed < total)
+            return;
+        lastEmitNs = now;
+        out = line();
+    }
+    logRawLine(out);
+}
+
+void
+ProgressMeter::finish()
+{
+    if (logLevel() < LogLevel::Info)
+        return;
+    std::string out;
+    {
+        std::lock_guard<std::mutex> lk(m);
+        if (completed == 0)
+            return; // nothing ran (fully resumed or empty grid)
+        out = line() + " | done";
+    }
+    logRawLine(out);
+}
+
+std::uint64_t
+ProgressMeter::done() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return resumed + completed;
+}
+
+} // namespace pcbp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Throttled live-progress heartbeat for long grid runs.
+ *
+ * `pcbp_sweep run` / `pcbp_repro run` over a big grid used to print
+ * nothing (or one line per cell) until they finished. A
+ * ProgressMeter turns cell completions into a rate-limited stderr
+ * heartbeat — cells done/total, simulated branches per second, ETA —
+ * emitted through the mutex-guarded log sink (common/logging.hh), so
+ * heartbeat lines never interleave with worker diagnostics.
+ *
+ * Throttling is wall-clock based (default: at most one line per
+ * second, plus a final line); tests pass interval 0 to see every
+ * tick. Progress output is presentation only — it must never feed
+ * back into results, which stay byte-identical with or without it.
+ */
+
+#ifndef PCBP_OBS_PROGRESS_HH
+#define PCBP_OBS_PROGRESS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace pcbp
+{
+
+class ProgressMeter
+{
+  public:
+    /**
+     * @param total_units Units (cells) expected overall.
+     * @param unit_name Unit label for the line ("cells").
+     * @param min_interval_ms Minimum ms between heartbeat lines
+     *        (0 = every tick; tests).
+     */
+    ProgressMeter(std::uint64_t total_units, std::string unit_name,
+                  std::uint64_t min_interval_ms = 1000);
+
+    /**
+     * Account units already complete before this run (resumed store
+     * cells); they count toward done/total but not the rate/ETA.
+     */
+    void setResumed(std::uint64_t units);
+
+    /**
+     * One unit finished, carrying @p branches of simulated work.
+     * Thread-safe; emits a heartbeat line if the throttle allows.
+     */
+    void tick(std::uint64_t branches);
+
+    /** Emit the final summary line (rate over the whole run). */
+    void finish();
+
+    std::uint64_t done() const;
+
+  private:
+    std::string line() const; // caller holds m
+
+    mutable std::mutex m;
+    const std::uint64_t total;
+    const std::string unit;
+    const std::uint64_t intervalNs;
+    const std::uint64_t startNs;
+    std::uint64_t resumed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t lastEmitNs = 0;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_OBS_PROGRESS_HH

@@ -1,0 +1,173 @@
+#include "obs/span_trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace pcbp
+{
+
+std::uint64_t
+obsNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+SpanTracer::SpanTracer() : epochNs(obsNanos()) {}
+
+std::uint64_t
+SpanTracer::now() const
+{
+    return obsNanos() - epochNs;
+}
+
+void
+SpanTracer::record(const std::string &name, const std::string &cat,
+                   std::uint32_t tid, std::uint64_t start_ns,
+                   std::uint64_t end_ns)
+{
+    TraceSpan s;
+    s.name = name;
+    s.cat = cat;
+    s.tid = tid;
+    s.startNs = start_ns;
+    // At least 1 ns wide: a zero-width span's E would sort before
+    // its own B (ends break ties first), un-nesting the stream.
+    s.endNs = std::max(start_ns + 1, end_ns);
+    std::lock_guard<std::mutex> lk(m);
+    spans.push_back(std::move(s));
+}
+
+void
+SpanTracer::nameThread(std::uint32_t tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(m);
+    for (auto &tn : threadNames) {
+        if (tn.first == tid) {
+            tn.second = name; // renaming, not duplicate M events
+            return;
+        }
+    }
+    threadNames.emplace_back(tid, name);
+}
+
+std::size_t
+SpanTracer::size() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return spans.size();
+}
+
+namespace
+{
+
+struct Event
+{
+    const TraceSpan *span = nullptr;
+    bool begin = false;
+
+    std::uint64_t ts() const
+    {
+        return begin ? span->startNs : span->endNs;
+    }
+
+    std::uint64_t
+    duration() const
+    {
+        return span->endNs - span->startNs;
+    }
+};
+
+/**
+ * Nest-preserving event order: by timestamp; at a tie, ends before
+ * begins (sequential spans sharing a boundary close first), longer
+ * spans open first (outer B precedes inner B), and later-started
+ * spans close first (inner E precedes outer E).
+ */
+bool
+eventBefore(const Event &a, const Event &b)
+{
+    if (a.ts() != b.ts())
+        return a.ts() < b.ts();
+    if (a.begin != b.begin)
+        return !a.begin; // E before B
+    if (a.begin)
+        return a.duration() > b.duration();
+    return a.span->startNs > b.span->startNs;
+}
+
+std::string
+fmtMicros(std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+std::string
+SpanTracer::toJson() const
+{
+    std::vector<TraceSpan> local;
+    std::vector<std::pair<std::uint32_t, std::string>> names;
+    {
+        std::lock_guard<std::mutex> lk(m);
+        local = spans;
+        names = threadNames;
+    }
+
+    std::vector<Event> events;
+    events.reserve(local.size() * 2);
+    for (const TraceSpan &s : local) {
+        events.push_back({&s, true});
+        events.push_back({&s, false});
+    }
+    std::stable_sort(events.begin(), events.end(), eventBefore);
+
+    std::ostringstream os;
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto &tn : names) {
+        os << (first ? "" : ",\n")
+           << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+              "\"tid\":"
+           << tn.first << ",\"args\":{\"name\":\""
+           << jsonEscape(tn.second) << "\"}}";
+        first = false;
+    }
+    for (const Event &e : events) {
+        os << (first ? "" : ",\n") << "{\"ph\":\""
+           << (e.begin ? 'B' : 'E') << "\",\"name\":\""
+           << jsonEscape(e.span->name) << "\",\"cat\":\""
+           << jsonEscape(e.span->cat) << "\",\"pid\":1,\"tid\":"
+           << e.span->tid << ",\"ts\":" << fmtMicros(e.ts()) << "}";
+        first = false;
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\","
+          "\"otherData\":{\"schema\":\"pcbp-trace-1\"}}\n";
+    return os.str();
+}
+
+void
+SpanTracer::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        pcbp_fatal("trace: cannot write '", path, "'");
+    out << toJson();
+    if (!out.flush())
+        pcbp_fatal("trace: short write to '", path, "'");
+}
+
+} // namespace pcbp

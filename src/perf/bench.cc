@@ -366,8 +366,10 @@ runBench(const BenchDef &def, const BenchContext &ctx)
     r.name = def.name;
     r.group = def.group;
     r.unit = def.unit;
-    r.m = measureRepeated([&] { return def.body(ctx); },
-                          ctx.measureOptions());
+    MeasureOptions opt = ctx.measureOptions();
+    opt.tracer = ctx.tracer;
+    opt.spanName = def.name;
+    r.m = measureRepeated([&] { return def.body(ctx); }, opt);
     return r;
 }
 

@@ -66,6 +66,13 @@ struct BenchContext
     /** Timed repetitions; 0 = default (5, or 3 in quick mode). */
     unsigned repeats = 0;
 
+    /**
+     * Span tracer: each benchmark records "<name>.warmup" and
+     * "<name>.repN" spans (see MeasureOptions::tracer). Not owned;
+     * null = off.
+     */
+    SpanTracer *tracer = nullptr;
+
     /** Effective repeat/warmup policy for these options. */
     MeasureOptions measureOptions() const;
 };

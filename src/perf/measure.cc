@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/span_trace.hh"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <x86intrin.h>
@@ -51,8 +52,16 @@ measureRepeated(const std::function<std::uint64_t()> &body,
 {
     pcbp_assert(opt.repeats >= 1, "a measurement needs a repetition");
 
-    for (unsigned i = 0; i < opt.warmupReps; ++i)
-        body();
+    if (opt.warmupReps > 0) {
+        const std::uint64_t w0 =
+            opt.tracer ? opt.tracer->now() : 0;
+        for (unsigned i = 0; i < opt.warmupReps; ++i)
+            body();
+        if (opt.tracer) {
+            opt.tracer->record(opt.spanName + ".warmup", "bench", 0,
+                               w0, opt.tracer->now());
+        }
+    }
 
     std::vector<double> ns;
     std::vector<double> cycles;
@@ -62,11 +71,18 @@ measureRepeated(const std::function<std::uint64_t()> &body,
     Measurement m;
     m.repeats = opt.repeats;
     for (unsigned i = 0; i < opt.repeats; ++i) {
+        const std::uint64_t s0 =
+            opt.tracer ? opt.tracer->now() : 0;
         const std::uint64_t c0 = readCycleCounter();
         const std::uint64_t t0 = readNanos();
         const std::uint64_t items = body();
         const std::uint64_t t1 = readNanos();
         const std::uint64_t c1 = readCycleCounter();
+        if (opt.tracer) {
+            opt.tracer->record(opt.spanName + ".rep" +
+                                   std::to_string(i),
+                               "bench", 0, s0, opt.tracer->now());
+        }
         ns.push_back(double(t1 - t0));
         cycles.push_back(double(c1 - c0));
         if (i == 0) {

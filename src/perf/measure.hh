@@ -25,9 +25,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 namespace pcbp
 {
+
+class SpanTracer;
 
 /** Read the cycle counter (TSC); 0 where unavailable. */
 std::uint64_t readCycleCounter();
@@ -43,6 +46,18 @@ struct MeasureOptions
 
     /** Untimed warmup repetitions before the timed ones. */
     unsigned warmupReps = 1;
+
+    /**
+     * Span tracer: one "warmup" span covering the untimed reps and
+     * one "repN" span per timed repetition, named
+     * "<spanName>.warmup" / "<spanName>.repN". Tracing reads the
+     * same steady clock just outside the timed window, so it does
+     * not perturb the measurement. Not owned; null = off.
+     */
+    SpanTracer *tracer = nullptr;
+
+    /** Span name stem (the benchmark's name). */
+    std::string spanName;
 };
 
 /** One benchmark's timing summary, over all timed repetitions. */

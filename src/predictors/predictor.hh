@@ -43,6 +43,8 @@
 namespace pcbp
 {
 
+class StatRegistry;
+
 /**
  * Interface for conventional direction predictors (prophets and
  * unfiltered critics).
@@ -81,6 +83,17 @@ class DirectionPredictor
 
     /** Human-readable name, e.g.\ "gshare-8KB". */
     virtual std::string name() const = 0;
+
+    /**
+     * Export predictor statistics into @p reg's sim section under
+     * `prefix.*`. The base implementation reports geometry
+     * (size_bits, history_bits); predictors with interesting
+     * internal counters (TAGE allocation churn, say) extend it.
+     * Exported values must stay pure functions of the call sequence
+     * — no clocks — so dumps remain deterministic.
+     */
+    virtual void exportStats(StatRegistry &reg,
+                             const std::string &prefix) const;
 
     /** Storage cost in bytes, rounded up. */
     std::size_t sizeBytes() const { return (sizeBits() + 7) / 8; }
@@ -135,6 +148,10 @@ class FilteredPredictor
 
     /** Human-readable name. */
     virtual std::string name() const = 0;
+
+    /** As DirectionPredictor::exportStats (size_bits, bor_bits). */
+    virtual void exportStats(StatRegistry &reg,
+                             const std::string &prefix) const;
 
     std::size_t sizeBytes() const { return (sizeBits() + 7) / 8; }
 };

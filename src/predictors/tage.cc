@@ -2,6 +2,7 @@
 
 #include "common/bit_utils.hh"
 #include "common/logging.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -37,6 +38,7 @@ Tage::Tage(const TageConfig &config)
         tables.push_back(std::move(t));
     }
     maxHistory = cfg.tables.back().historyLength;
+    providerCommits.assign(tables.size(), 0);
 }
 
 std::size_t
@@ -115,6 +117,13 @@ Tage::update(Addr pc, const HistoryRegister &hist, bool taken)
 {
     const Match m = lookup(pc, hist);
 
+    if (m.provider >= 0)
+        ++providerCommits[std::size_t(m.provider)];
+    else
+        ++baseCommits;
+    if (m.provider >= 0 && m.providerWeak && useAltOnWeak.taken())
+        ++altOnWeakUses;
+
     if (m.provider >= 0) {
         Table &t = tables[m.provider];
         Entry &e = t.rows[tableIndex(t, pc, hist)];
@@ -157,7 +166,10 @@ Tage::update(Addr pc, const HistoryRegister &hist, bool taken)
             allocated = true;
             break;
         }
-        if (!allocated) {
+        if (allocated) {
+            ++allocations;
+        } else {
+            ++allocFailures;
             for (std::size_t i = std::size_t(m.provider + 1);
                  i < tables.size(); ++i) {
                 Table &t = tables[i];
@@ -177,6 +189,7 @@ Tage::agePeriodically()
         updates % cfg.usefulResetPeriod != 0) {
         return;
     }
+    ++agings;
     for (Table &t : tables)
         for (Entry &e : t.rows)
             e.useful.set(e.useful.value() >> 1);
@@ -196,6 +209,12 @@ Tage::reset()
     }
     useAltOnWeak.set(8);
     updates = 0;
+    providerCommits.assign(tables.size(), 0);
+    baseCommits = 0;
+    altOnWeakUses = 0;
+    allocations = 0;
+    allocFailures = 0;
+    agings = 0;
 }
 
 std::size_t
@@ -213,6 +232,23 @@ Tage::name() const
 {
     return "tage" + std::to_string(tables.size()) + "-" +
            std::to_string(sizeBytes() / 1024) + "KB";
+}
+
+void
+Tage::exportStats(StatRegistry &reg, const std::string &prefix) const
+{
+    DirectionPredictor::exportStats(reg, prefix);
+    reg.add(prefix + ".updates", updates);
+    reg.add(prefix + ".base_commits", baseCommits);
+    reg.add(prefix + ".alt_on_weak_uses", altOnWeakUses);
+    reg.add(prefix + ".allocations", allocations);
+    reg.add(prefix + ".alloc_failures", allocFailures);
+    reg.add(prefix + ".agings", agings);
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        reg.add(prefix + ".bank" + std::to_string(i) +
+                    ".provider_commits",
+                providerCommits[i]);
+    }
 }
 
 } // namespace pcbp

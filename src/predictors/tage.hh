@@ -74,6 +74,10 @@ class Tage final : public DirectionPredictor
     unsigned historyLength() const override { return maxHistory; }
     std::string name() const override;
 
+    /** Geometry plus per-bank provider mix and allocation churn. */
+    void exportStats(StatRegistry &reg,
+                     const std::string &prefix) const override;
+
     /** Number of tagged component tables (tests/reporting). */
     std::size_t numTables() const { return tables.size(); }
 
@@ -126,6 +130,18 @@ class Tage final : public DirectionPredictor
     SatCounter useAltOnWeak{4, 8};
 
     std::uint64_t updates = 0;
+
+    /**
+     * Update-path bookkeeping (once per commit — cold next to the
+     * predict path, so these stay on unconditionally). All pure
+     * functions of the call sequence; exported by exportStats().
+     */
+    std::vector<std::uint64_t> providerCommits; //!< per tagged table
+    std::uint64_t baseCommits = 0;   //!< base was the provider
+    std::uint64_t altOnWeakUses = 0; //!< weak provider, alt trusted
+    std::uint64_t allocations = 0;   //!< new tagged entries claimed
+    std::uint64_t allocFailures = 0; //!< every candidate useful: decay
+    std::uint64_t agings = 0;        //!< usefulness halving events
 };
 
 } // namespace pcbp

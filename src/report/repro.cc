@@ -10,6 +10,9 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/progress.hh"
+#include "obs/span_trace.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -177,12 +180,23 @@ runRepro(const ReproOptions &opts)
             opts.log(line);
     };
 
+    std::unique_ptr<ProgressMeter> meter;
+    if (opts.progress && !opts.renderOnly) {
+        std::size_t total = 0;
+        for (const FigureDef *f : figures)
+            for (const auto &spec : f->sweeps(fo))
+                total += spec.cells().size();
+        meter = std::make_unique<ProgressMeter>(total, "cells");
+    }
+
     ReproSummary summary;
     std::vector<std::unique_ptr<ResultStore>> stores;
     for (const FigureDef *f : figures) {
         const std::string store_path =
             (storeDir / (f->id + ".jsonl")).string();
         auto store = std::make_unique<ResultStore>(store_path);
+        const std::uint64_t figStart =
+            opts.tracer ? opts.tracer->now() : 0;
 
         ReproFigureSummary fsum;
         fsum.id = f->id;
@@ -205,19 +219,32 @@ runRepro(const ReproOptions &opts)
             if (opts.maxCells)
                 run.maxCells = opts.maxCells - summary.executedCells -
                                fsum.executedCells;
+            run.stats = opts.stats;
+            run.tracer = opts.tracer;
             run.onCellDone = [&](const SweepCell &cell,
-                                 const CellResult &) {
+                                 const CellResult &result) {
                 log(f->id + ": " + cell.key());
+                if (meter)
+                    meter->tick(result.committedBranches);
             };
             const SweepRunSummary s = runSweep(spec, *store, run);
             fsum.totalCells += s.totalCells;
             fsum.executedCells += s.executedCells;
             fsum.skippedCells += s.skippedCells;
+            if (meter)
+                meter->setResumed(summary.skippedCells +
+                                  fsum.skippedCells);
         }
         log(f->id + ": " + std::to_string(fsum.totalCells) +
             " cells (" + std::to_string(fsum.executedCells) +
             " executed, " + std::to_string(fsum.skippedCells) +
             " resumed)");
+        if (opts.tracer) {
+            opts.tracer->record(f->id, "figure", 0, figStart,
+                                opts.tracer->now());
+        }
+        if (opts.stats)
+            store->exportStats(*opts.stats, "store." + f->id);
 
         summary.totalCells += fsum.totalCells;
         summary.executedCells += fsum.executedCells;
@@ -225,6 +252,8 @@ runRepro(const ReproOptions &opts)
         summary.figures.push_back(std::move(fsum));
         stores.push_back(std::move(store));
     }
+    if (meter)
+        meter->finish();
 
     summary.complete =
         summary.skippedCells + summary.executedCells ==

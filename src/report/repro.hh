@@ -34,6 +34,9 @@
 namespace pcbp
 {
 
+class SpanTracer;
+class StatRegistry;
+
 struct ReproOptions
 {
     /** Figure ids ("fig5", ..., or "all"); empty = every figure. */
@@ -70,6 +73,23 @@ struct ReproOptions
 
     /** Optional progress line sink (cell completions, phases). */
     std::function<void(const std::string &)> log;
+
+    /**
+     * Run-wide stats registry: merged sim counters from every newly
+     * executed cell plus host-side pool/store/sweep counters. Not
+     * owned; null = no collection.
+     */
+    StatRegistry *stats = nullptr;
+
+    /** Span tracer: one "figure" span per selected figure plus the
+     *  per-cell spans from the sweeps. Not owned; null = off. */
+    SpanTracer *tracer = nullptr;
+
+    /**
+     * Throttled stderr heartbeat (cells done/total, branches/s,
+     * ETA). Quiet when the log level filters Info.
+     */
+    bool progress = false;
 };
 
 /** The fixed per-cell budget of --quick runs. */

@@ -71,6 +71,7 @@ class CommittedStream
             return &window[static_cast<std::size_t>(head + (idx - base)) &
                            (window.size() - 1)];
         }
+        ++refillCount; // cold path: counting here costs nothing hot
         return atSlow(idx);
     }
 
@@ -97,6 +98,12 @@ class CommittedStream
     /** Records produced so far (window base + window size). */
     std::uint64_t produced() const { return base + count; }
 
+    /** Times at() fell off the window onto the refill path. */
+    std::uint64_t refills() const { return refillCount; }
+
+    /** Backend identifier for stats ("program_walk", ...). */
+    virtual const char *backendName() const = 0;
+
   protected:
     CommittedStream() : window(kInitialWindow) {}
 
@@ -117,6 +124,7 @@ class CommittedStream
     std::size_t count = 0;               //!< resident records
     std::uint64_t base = 0;              //!< absolute index of `head`
     std::size_t peak = 0;
+    std::uint64_t refillCount = 0;
     bool ended = false;
 };
 
@@ -134,6 +142,7 @@ class ProgramWalkStream : public CommittedStream
     ProgramWalkStream(Program &program, std::uint64_t limit);
 
     std::uint64_t length() const override { return limit; }
+    const char *backendName() const override { return "program_walk"; }
 
   protected:
     bool produceNext(CommittedBranch &out) override;
@@ -162,6 +171,7 @@ class TraceFileStream : public CommittedStream
     TraceFileStream &operator=(const TraceFileStream &) = delete;
 
     std::uint64_t length() const override { return count; }
+    const char *backendName() const override { return "trace_file"; }
 
   protected:
     bool produceNext(CommittedBranch &out) override;
@@ -186,6 +196,7 @@ class PrecomputedStream : public CommittedStream
     }
 
     std::uint64_t length() const override { return trace.size(); }
+    const char *backendName() const override { return "precomputed"; }
 
   protected:
     bool produceNext(CommittedBranch &out) override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -161,6 +162,8 @@ Engine::run(CommittedStream &committed)
                              committed.length());
 
     const CommittedBranch *first = committed.at(0);
+    coreObs = SpecCoreObs{};
+    core.attachObs(cfg.statsOut ? &coreObs : nullptr);
     core.beginRun(cfg.oracleFutureBits ? &committed : nullptr,
                   totalBranches,
                   first ? first->block : program.entry());
@@ -187,7 +190,41 @@ Engine::run(CommittedStream &committed)
                       return a.pc < b.pc;
                   });
     }
+    if (cfg.statsOut)
+        exportStats(committed);
     return stats;
+}
+
+void
+Engine::exportStats(CommittedStream &committed)
+{
+    StatRegistry &reg = *cfg.statsOut;
+
+    reg.add("engine.committed_branches", stats.committedBranches);
+    reg.add("engine.committed_uops", stats.committedUops);
+    reg.add("engine.final_mispredicts", stats.finalMispredicts);
+    reg.add("engine.prophet_mispredicts", stats.prophetMispredicts);
+    reg.add("engine.btb_misses", stats.btbMisses);
+    reg.add("engine.critic_overrides", stats.criticOverrides);
+    reg.add("engine.squashed_predictions", stats.squashedPredictions);
+    reg.add("engine.wrong_path_branches", stats.wrongPathBranches);
+    reg.add("engine.wrong_path_uops", stats.wrongPathUops);
+    reg.add("engine.partial_critiques", stats.partialCritiques);
+    for (std::size_t c = 0; c < numCritiqueClasses; ++c) {
+        reg.add("engine.critique." +
+                    critiqueClassName(static_cast<CritiqueClass>(c)),
+                stats.critiques.counts[c]);
+    }
+    reg.hist("engine.flush_distance_uops", stats.flushDistance);
+
+    coreObs.exportTo(reg, "core");
+
+    reg.add(std::string("stream.backend.") + committed.backendName(), 1);
+    reg.add("stream.refills", committed.refills());
+    reg.add("stream.produced", committed.produced());
+    reg.setMax("stream.window_peak", committed.windowPeak());
+
+    hybrid.exportStats(reg, "predictor");
 }
 
 } // namespace pcbp

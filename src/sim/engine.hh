@@ -74,6 +74,15 @@ struct EngineConfig
 
     /** Committed branches of warmup before measuring. */
     std::uint64_t warmupBranches = 25000;
+
+    /**
+     * Optional stats registry: when set, the run exports its
+     * counters — engine.*, core.* (spec-core protocol events),
+     * stream.*, predictor.* — into it at end of run, and the spec
+     * core counts protocol events as it goes (obs/probes.hh; off the
+     * hot path either way). Not owned; null = no collection.
+     */
+    StatRegistry *statsOut = nullptr;
 };
 
 /** Per-static-branch accuracy record. */
@@ -189,6 +198,7 @@ class Engine
     bool critiqueAt(std::size_t idx);
     void critiqueReady();
     void resolveOldest(CommittedStream &committed);
+    void exportStats(CommittedStream &committed);
 
     bool measuring() const { return commitIdx >= cfg.warmupBranches; }
 
@@ -196,6 +206,7 @@ class Engine
     ProphetCriticHybrid &hybrid;
     EngineConfig cfg;
     SpecCore<EnginePayload> core;
+    SpecCoreObs coreObs;
 
     std::uint64_t totalBranches = 0;
     std::uint64_t commitIdx = 0;

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -203,6 +204,38 @@ H2PReport::render() const
     }
     os << t.str();
     return os.str();
+}
+
+void
+H2PProfiler::exportStats(StatRegistry &reg, const std::string &prefix,
+                         std::size_t max_pcs) const
+{
+    reg.add(prefix + ".commits", commits);
+    reg.add(prefix + ".mispredicts", mispredicts);
+    reg.setMax(prefix + ".static_branches", perPc.size());
+
+    // Rank worst-first (finalWrong desc, pc asc) so truncation keeps
+    // the branches the H2P analysis cares about, deterministically.
+    std::vector<BranchProfile> all = profiles();
+    std::sort(all.begin(), all.end(),
+              [](const BranchProfile &a, const BranchProfile &b) {
+                  if (a.finalWrong != b.finalWrong)
+                      return a.finalWrong > b.finalWrong;
+                  return a.pc < b.pc;
+              });
+    if (all.size() > max_pcs)
+        all.resize(max_pcs);
+
+    for (const BranchProfile &p : all) {
+        const std::string base = prefix + ".pc_" + hexPc(p.pc);
+        reg.add(base + ".execs", p.execs);
+        reg.add(base + ".takens", p.takens);
+        reg.add(base + ".transitions", p.transitions);
+        reg.add(base + ".prophet_wrong", p.prophetWrong);
+        reg.add(base + ".final_wrong", p.finalWrong);
+        reg.add(base + ".critic_overrides", p.criticOverrides);
+        reg.add(base + ".btb_misses", p.btbMisses);
+    }
 }
 
 } // namespace pcbp

@@ -182,6 +182,16 @@ class H2PProfiler : public CommitSink
     /** Profiles in deterministic (pc-ascending) order. */
     std::vector<BranchProfile> profiles() const;
 
+    /**
+     * Export totals plus the top-@p max_pcs branches by final-wrong
+     * count into @p reg's sim section — `prefix.pc_<hex>.*` per
+     * branch — so H2P per-PC counters appear in the unified stats
+     * dump next to the engine's. Deterministic: ties rank by pc.
+     */
+    void exportStats(StatRegistry &reg,
+                     const std::string &prefix = "h2p",
+                     std::size_t max_pcs = 64) const;
+
     std::uint64_t committedBranches() const { return commits; }
 
     void reset();

@@ -1,6 +1,8 @@
 #include "sim/spec_core.hh"
 
 #include "common/logging.hh"
+#include "obs/probes.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -12,6 +14,24 @@ namespace
 constexpr std::size_t kInitialSlabSize = 64;
 
 } // namespace
+
+void
+SpecCoreObs::exportTo(StatRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.add(prefix + ".fetches", fetches);
+    reg.add(prefix + ".btb_hits", btbHits);
+    reg.add(prefix + ".btb_allocs", btbAllocs);
+    reg.add(prefix + ".critiques", critiques);
+    reg.add(prefix + ".overrides", overrides);
+    reg.add(prefix + ".squashed", squashed);
+    reg.add(prefix + ".recoveries", recoveries);
+    reg.add(prefix + ".commits", commits);
+    reg.add(prefix + ".future_bits_gathered", fbGathered);
+    reg.add(prefix + ".partial_gathers", partialGathers);
+    reg.add(prefix + ".slab_growths", slabGrowths);
+    reg.setMax(prefix + ".queue_peak", queuePeak);
+}
 
 template <typename Payload>
 SpecCore<Payload>::SpecCore(Program &program_,
@@ -49,6 +69,7 @@ SpecCore<Payload>::growSlab()
     // indices keep their meaning because the new size is still a
     // power of two and every live record lands at the slot its
     // absolute index selects.
+    pcbp_obs_inc(obs, slabGrowths);
     std::vector<Record> bigger(slab.size() * 2);
     for (std::size_t abs = headAbs; abs != tailAbs; ++abs) {
         bigger[abs & (bigger.size() - 1)] =
@@ -96,6 +117,10 @@ SpecCore<Payload>::fetchNext()
 
     fetchBlock = program.successor(fetchBlock, r.finalPred);
     ++tailAbs;
+
+    pcbp_obs_inc(obs, fetches);
+    pcbp_obs_add(obs, btbHits, r.btbHit ? 1 : 0);
+    pcbp_obs_max(obs, queuePeak, tailAbs - headAbs);
     return r;
 }
 
@@ -162,8 +187,15 @@ SpecCore<Payload>::critique(std::size_t idx)
     out.bitsGathered = fbScratch.size();
     r.decision = std::move(d);
 
+    pcbp_obs_inc(obs, critiques);
+    pcbp_obs_add(obs, fbGathered, out.bitsGathered);
+    pcbp_obs_add(obs, partialGathers,
+                 (want > 0 && out.bitsGathered < want) ? 1 : 0);
+
     if (out.overrode) {
         out.squashed = queueSize() - idx - 1;
+        pcbp_obs_inc(obs, overrides);
+        pcbp_obs_add(obs, squashed, out.squashed);
 #if !defined(NDEBUG) || defined(PCBP_FORCE_DASSERT)
         // Queue-only flush: every younger prediction is uncritiqued
         // (critiques are issued oldest-first), so the flush is
@@ -188,6 +220,7 @@ template <typename Payload>
 void
 SpecCore<Payload>::recoverAndRedirect(const Record &r, bool outcome)
 {
+    pcbp_obs_inc(obs, recoveries);
     hybrid.recoverMispredict(r.ctx, outcome);
     fetchBlock = program.successor(r.block, outcome);
     specTraceIdx = r.traceIdx + 1;
@@ -197,9 +230,12 @@ template <typename Payload>
 void
 SpecCore<Payload>::commitTrain(const Record &r, bool outcome)
 {
+    pcbp_obs_inc(obs, commits);
     hybrid.commitBranch(r.pc, r.ctx, r.decision, outcome);
-    if (cfg.useBtb && !r.btbHit)
+    if (cfg.useBtb && !r.btbHit) {
         btb.allocate(r.pc);
+        pcbp_obs_inc(obs, btbAllocs);
+    }
     if (cfg.commitSink) {
         CommitEvent e;
         e.index = r.traceIdx;

@@ -70,6 +70,36 @@
 namespace pcbp
 {
 
+class StatRegistry;
+
+/**
+ * Plain counter slab for one SpecCore, owned by the simulator that
+ * owns the core and attached via attachObs(). Probes on the hot
+ * fetch/critique/commit paths increment these through the
+ * `pcbp_obs_*` macros (obs/probes.hh): a null-checked plain-member
+ * increment by default, stripped entirely under `-DPCBP_OBS=0`.
+ * Everything here is a pure function of the simulated work, so the
+ * counters land in the stats registry's deterministic sim section.
+ */
+struct SpecCoreObs
+{
+    std::uint64_t fetches = 0;        //!< fetchNext() calls
+    std::uint64_t btbHits = 0;        //!< fetches that hit the BTB
+    std::uint64_t btbAllocs = 0;      //!< commit-time BTB allocations
+    std::uint64_t critiques = 0;      //!< critique() calls
+    std::uint64_t overrides = 0;      //!< disagree critiques
+    std::uint64_t squashed = 0;       //!< queue records override-flushed
+    std::uint64_t recoveries = 0;     //!< resolved-mispredict repairs
+    std::uint64_t commits = 0;        //!< commitTrain() calls
+    std::uint64_t fbGathered = 0;     //!< future bits consumed, total
+    std::uint64_t partialGathers = 0; //!< critiques short of the want
+    std::uint64_t slabGrowths = 0;    //!< checkpoint-arena doublings
+    std::uint64_t queuePeak = 0;      //!< max queue depth observed
+
+    /** Accumulate into @p reg's sim section under `prefix.*`. */
+    void exportTo(StatRegistry &reg, const std::string &prefix) const;
+};
+
 /**
  * One in-flight speculated branch, shared by both simulators; the
  * payload carries per-model extras (nothing for the accuracy engine,
@@ -285,6 +315,13 @@ class SpecCore
     /** Next speculative trace index (diagnostics/tests). */
     std::uint64_t specIndex() const { return specTraceIdx; }
 
+    /**
+     * Attach an observability counter slab (caller-owned, may be
+     * null to detach). Counting is presentation only — attached or
+     * not, simulated behavior is identical.
+     */
+    void attachObs(SpecCoreObs *o) { obs = o; }
+
   private:
     Program &program;
     ProphetCriticHybrid &hybrid;
@@ -314,6 +351,9 @@ class SpecCore
 
     /** Reusable gather buffer: no allocation on the critique path. */
     FutureBits fbScratch;
+
+    /** Observability counters; null (the default) = not counting. */
+    SpecCoreObs *obs = nullptr;
 
     Record &rec(std::size_t abs) { return slab[abs & (slab.size() - 1)]; }
     const Record &

@@ -1,6 +1,7 @@
 #include "sim/timing.hh"
 
 #include "common/logging.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -220,6 +221,8 @@ TimingSim::run(CommittedStream &committed)
                              committed.length());
 
     const CommittedBranch *first = committed.at(0);
+    coreObs = SpecCoreObs{};
+    core.attachObs(cfg.statsOut ? &coreObs : nullptr);
     core.beginRun(nullptr, 0,
                   first ? first->block : program.entry());
     resolveIdx = 0;
@@ -242,7 +245,37 @@ TimingSim::run(CommittedStream &committed)
     }
 
     stats.cycles = now - measureStartCycle;
+    if (cfg.statsOut)
+        exportStats(committed);
     return stats;
+}
+
+void
+TimingSim::exportStats(CommittedStream &committed)
+{
+    StatRegistry &reg = *cfg.statsOut;
+
+    reg.add("timing.cycles", stats.cycles);
+    reg.add("timing.committed_uops", stats.committedUops);
+    reg.add("timing.committed_branches", stats.committedBranches);
+    reg.add("timing.final_mispredicts", stats.finalMispredicts);
+    reg.add("timing.fetched_uops", stats.fetchedUops);
+    reg.add("timing.wrong_path_fetched_uops",
+            stats.wrongPathFetchedUops);
+    reg.add("timing.critic_overrides", stats.criticOverrides);
+    reg.add("timing.ftq_flushed_by_critic",
+            stats.ftqEntriesFlushedByCritic);
+    reg.add("timing.partial_critiques", stats.partialCritiques);
+    reg.add("timing.ftq_empty_cycles", stats.ftqEmptyCycles);
+
+    coreObs.exportTo(reg, "core");
+
+    reg.add(std::string("stream.backend.") + committed.backendName(), 1);
+    reg.add("stream.refills", committed.refills());
+    reg.add("stream.produced", committed.produced());
+    reg.setMax("stream.window_peak", committed.windowPeak());
+
+    hybrid.exportStats(reg, "predictor");
 }
 
 } // namespace pcbp

@@ -77,6 +77,13 @@ struct TimingConfig
 
     std::uint64_t measureBranches = 100000;
     std::uint64_t warmupBranches = 10000;
+
+    /**
+     * Optional stats registry: when set, the run exports timing.*,
+     * core.*, stream.* and predictor.* counters into it at end of
+     * run (see EngineConfig::statsOut). Not owned; null = off.
+     */
+    StatRegistry *statsOut = nullptr;
 };
 
 /** Counters from a timing run (measured window only). */
@@ -148,6 +155,7 @@ class TimingSim
 
     void critiqueFtqEntry(std::size_t idx, bool partial);
     void flushPipeline(const FtqRecord &mispredicted, bool outcome);
+    void exportStats(CommittedStream &committed);
 
     bool measuring() const { return commitIdx >= cfg.warmupBranches; }
 
@@ -155,6 +163,7 @@ class TimingSim
     ProphetCriticHybrid &hybrid;
     TimingConfig cfg;
     SpecCore<FtqPayload> core;
+    SpecCoreObs coreObs;
 
     std::deque<WindowBlock> window;
     std::size_t windowUops = 0;

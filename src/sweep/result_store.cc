@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -68,6 +69,47 @@ class FieldReader
         if (at == std::string::npos)
             return fallback;
         return number(at);
+    }
+
+    /**
+     * Flat object of "path":integer pairs. Absent field = empty
+     * (stores predate the stats block); a present-but-garbled
+     * object fails.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    getStatsObject(const char *field)
+    {
+        using Out = std::vector<std::pair<std::string, std::uint64_t>>;
+        if (bad)
+            return Out();
+        std::size_t at = find(field);
+        if (at == std::string::npos)
+            return Out();
+        if (line[at] != '{')
+            return fail<Out>();
+        Out out;
+        ++at;
+        while (!bad && at < line.size() && line[at] != '}') {
+            if (line[at] != '"')
+                return fail<Out>();
+            const std::size_t close = line.find('"', at + 1);
+            if (close == std::string::npos)
+                return fail<Out>();
+            std::string path = line.substr(at + 1, close - at - 1);
+            at = close + 1;
+            if (at >= line.size() || line[at] != ':')
+                return fail<Out>();
+            ++at;
+            const std::uint64_t v = number(at);
+            if (bad)
+                return fail<Out>();
+            out.emplace_back(std::move(path), v);
+            if (at < line.size() && line[at] == ',')
+                ++at;
+        }
+        if (at >= line.size() || line[at] != '}')
+            return fail<Out>();
+        return out;
     }
 
     std::vector<std::uint64_t>
@@ -283,7 +325,18 @@ CellResult::toJson() const
        << ",\"critiques\":[";
     for (std::size_t c = 0; c < numCritiqueClasses; ++c)
         os << (c ? "," : "") << critiques.counts[c];
-    os << "]}";
+    os << "]";
+    // Trailing optional block: emitted only when the sweep collected
+    // per-cell stats, so legacy lines stay byte-identical.
+    if (!stats.empty()) {
+        os << ",\"stats\":{";
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+            os << (i ? "," : "") << "\"" << jsonEscape(stats[i].first)
+               << "\":" << stats[i].second;
+        }
+        os << "}";
+    }
+    os << "}";
     return os.str();
 }
 
@@ -330,6 +383,7 @@ CellResult::tryFromJson(const std::string &line, CellResult &r)
     r.cycles = in.getUintOr("cycles", 0);
     r.fetchedUops = in.getUintOr("fetched_uops", 0);
     const auto crit = in.getArray("critiques");
+    r.stats = in.getStatsObject("stats");
     if (in.failed() || crit.size() != numCritiqueClasses)
         return false;
     for (std::size_t c = 0; c < numCritiqueClasses; ++c)
@@ -392,6 +446,7 @@ ResultStore::ResultStore(std::string path) : filePath(std::move(path))
             pcbp_warn("result store ", filePath,
                       ": dropping torn final line (interrupted "
                       "write); the cell will rerun");
+            ++tornDrops;
             truncateFile(valid_bytes);
             return;
         }
@@ -401,8 +456,10 @@ ResultStore::ResultStore(std::string path) : filePath(std::move(path))
         if (index.count(r.key)) {
             pcbp_warn("result store ", filePath, ":", i + 1,
                       ": duplicate key ignored: ", r.key);
+            ++dupDrops;
             continue;
         }
+        ++replayedLines;
         index.emplace(r.key, results.size());
         results.push_back(std::move(r));
     }
@@ -469,8 +526,20 @@ ResultStore::put(CellResult r)
         if (!out)
             pcbp_fatal("result store: write to ", filePath, " failed");
     }
+    ++putCount;
     index.emplace(r.key, results.size());
     results.push_back(std::move(r));
+}
+
+void
+ResultStore::exportStats(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.setHost(prefix + ".replayed", replayedLines);
+    reg.setHost(prefix + ".torn_drops", tornDrops);
+    reg.setHost(prefix + ".dup_drops", dupDrops);
+    reg.setHost(prefix + ".puts", putCount);
+    reg.setHost(prefix + ".cells", results.size());
 }
 
 std::string

@@ -68,6 +68,16 @@ struct CellResult
     std::uint64_t cycles = 0;
     std::uint64_t fetchedUops = 0;
 
+    /**
+     * Optional per-cell observability scalars (StatRegistry
+     * simScalars(), path-sorted) — populated only when the sweep ran
+     * with per-cell stats enabled. Serialized as a trailing "stats"
+     * object *after* every legacy field, and only when non-empty, so
+     * stores written without the flag remain byte-identical and old
+     * stores parse (absent = empty).
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> stats;
+
     /** Build from a finished accuracy-engine cell run. */
     static CellResult fromRun(const SweepCell &cell,
                               const EngineStats &stats);
@@ -144,12 +154,26 @@ class ResultStore
     static std::string exportJson(
         const std::vector<CellResult> &results);
 
+    /**
+     * Export store health counters (lines replayed on open, torn
+     * and duplicate lines dropped, cells appended) into @p reg's
+     * host section under `prefix.*`.
+     */
+    void exportStats(StatRegistry &reg,
+                     const std::string &prefix = "store") const;
+
   private:
     void truncateFile(std::uint64_t valid_bytes);
 
     std::string filePath;
     std::vector<CellResult> results;
     std::unordered_map<std::string, std::size_t> index;
+
+    // Open/append health counters (exportStats).
+    std::uint64_t replayedLines = 0;
+    std::uint64_t tornDrops = 0;
+    std::uint64_t dupDrops = 0;
+    std::uint64_t putCount = 0;
 };
 
 } // namespace pcbp

@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/span_trace.hh"
+#include "obs/stat_registry.hh"
 
 namespace pcbp
 {
@@ -27,8 +29,26 @@ runSweep(const SweepSpec &spec, ResultStore &store,
         pending.push_back(&cell);
     }
     summary.executedCells = pending.size();
-    if (pending.empty())
+
+    // add (not set): a repro run funnels many sweeps into one
+    // registry. The caller owns store.exportStats (a store can back
+    // several sweeps; exporting it here would double-count).
+    const auto exportRunStats = [&](const ThreadPool *pool) {
+        if (!opt.stats)
+            return;
+        opt.stats->addHost("sweep.cells_total", summary.totalCells);
+        opt.stats->addHost("sweep.cells_skipped",
+                           summary.skippedCells);
+        opt.stats->addHost("sweep.cells_executed",
+                           summary.executedCells);
+        if (pool)
+            pool->exportStats(*opt.stats);
+    };
+
+    if (pending.empty()) {
+        exportRunStats(nullptr);
         return summary;
+    }
 
     // Workers drop finished cells into `results`; the flush cursor
     // advances over the completed prefix so the store only ever sees
@@ -38,19 +58,49 @@ runSweep(const SweepSpec &spec, ResultStore &store,
     std::size_t cursor = 0;
     std::mutex flushMutex;
 
+    const bool collect = opt.stats != nullptr || opt.cellStats;
+
     ThreadPool pool(opt.jobs);
-    pool.parallelFor(pending.size(), [&](std::size_t i) {
+    if (opt.tracer) {
+        for (unsigned w = 0; w < pool.numWorkers(); ++w)
+            opt.tracer->nameThread(w, "worker" + std::to_string(w));
+    }
+
+    pool.parallelFor(pending.size(), [&](std::size_t i,
+                                         unsigned worker) {
         const SweepCell &cell = *pending[i];
-        CellResult result =
-            cell.timing
-                ? CellResult::fromTimingRun(
-                      cell, runTiming(*cell.workload, cell.spec,
-                                      cell.timingConfig()))
-                : CellResult::fromRun(
-                      cell, runAccuracy(*cell.workload, cell.spec,
-                                        cell.engineConfig()));
+        const std::uint64_t spanStart =
+            opt.tracer ? opt.tracer->now() : 0;
+
+        // Each cell collects into its own registry — no contention
+        // on the simulation path — merged under the flush lock.
+        StatRegistry cellReg;
+        CellResult result;
+        if (cell.timing) {
+            TimingConfig tc = cell.timingConfig();
+            if (collect)
+                tc.statsOut = &cellReg;
+            result = CellResult::fromTimingRun(
+                cell,
+                runTiming(*cell.workload, cell.spec, tc));
+        } else {
+            EngineConfig ec = cell.engineConfig();
+            if (collect)
+                ec.statsOut = &cellReg;
+            result = CellResult::fromRun(
+                cell,
+                runAccuracy(*cell.workload, cell.spec, ec));
+        }
+        if (opt.cellStats)
+            result.stats = cellReg.simScalars();
+        if (opt.tracer) {
+            opt.tracer->record(cell.key(), "cell", worker, spanStart,
+                               opt.tracer->now());
+        }
 
         std::lock_guard<std::mutex> lk(flushMutex);
+        if (opt.stats)
+            opt.stats->merge(cellReg);
         results[i] = std::move(result);
         done[i] = true;
         while (cursor < pending.size() && done[cursor]) {
@@ -61,6 +111,7 @@ runSweep(const SweepSpec &spec, ResultStore &store,
         }
     });
 
+    exportRunStats(&pool);
     return summary;
 }
 

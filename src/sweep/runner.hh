@@ -28,6 +28,9 @@
 namespace pcbp
 {
 
+class SpanTracer;
+class StatRegistry;
+
 struct SweepRunOptions
 {
     /** Worker count (incl. caller); 0 = one per hardware thread. */
@@ -43,6 +46,28 @@ struct SweepRunOptions
     /** Per-cell progress callback (invoked in flush order). */
     std::function<void(const SweepCell &, const CellResult &)>
         onCellDone;
+
+    /**
+     * Run-wide stats registry: every executed cell's sim counters
+     * are merged into it (merge is commutative, so the dump stays
+     * `--jobs`-independent), plus sweep/pool host counters at the
+     * end (added, so sequential sweeps accumulate). The store is
+     * NOT exported here — the store's owner calls
+     * ResultStore::exportStats itself, under the prefix it wants.
+     * Not owned; null = no collection.
+     */
+    StatRegistry *stats = nullptr;
+
+    /**
+     * Also embed each cell's own sim scalars into its persisted
+     * CellResult (the opt-in `stats` block). Off by default: stores
+     * written without it stay byte-identical to earlier versions.
+     */
+    bool cellStats = false;
+
+    /** Span tracer: one "cell" span per executed cell, tagged with
+     *  the worker that ran it. Not owned; null = no tracing. */
+    SpanTracer *tracer = nullptr;
 };
 
 struct SweepRunSummary

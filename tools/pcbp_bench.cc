@@ -7,6 +7,7 @@
  *
  *   pcbp_bench run [--quick] [--filter SUBSTRS] [--name LABEL]
  *                  [--out DIR] [--repeats N] [--workload NAME]
+ *                  [--stats-out FILE] [--trace-out FILE]
  *       Measure the selected benchmarks (all when no --filter;
  *       comma-separated substrings match any, e.g.
  *       "engine.,timing.") and
@@ -15,6 +16,10 @@
  *       printed to stdout) into DIR (default "."). --workload
  *       retargets the engine/timing benches at any registry workload
  *       or trace:<path>. PCBP_BENCH_SCALE scales the work.
+ *       --trace-out writes a Perfetto-loadable span trace of every
+ *       warmup/repetition phase; --stats-out dumps host-side run
+ *       metadata as a pcbp-stats-1 registry. Neither touches the
+ *       BENCH_*.json bytes or the timed windows.
  *
  *   pcbp_bench compare --baseline FILE CURRENT_FILE
  *                      [--threshold FRACTION] [--warn-only]
@@ -33,6 +38,8 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "obs/span_trace.hh"
+#include "obs/stat_registry.hh"
 #include "perf/bench_report.hh"
 
 using namespace pcbp;
@@ -48,7 +55,9 @@ usage(const char *argv0)
         << "  list\n"
         << "  run     [--quick] [--filter SUBSTRS] [--name LABEL]"
            " [--out DIR]\n"
-        << "          [--repeats N] [--workload NAME]\n"
+        << "          [--repeats N] [--workload NAME]"
+           " [--stats-out FILE]\n"
+        << "          [--trace-out FILE]\n"
         << "  compare --baseline FILE CURRENT_FILE"
            " [--threshold FRACTION] [--warn-only]\n";
     std::exit(2);
@@ -62,6 +71,8 @@ struct Args
     std::string workload;
     std::string baseline;
     std::string current;
+    std::string statsOut;
+    std::string traceOut;
     double threshold = 0.10;
     unsigned repeats = 0;
     bool quick = false;
@@ -89,6 +100,10 @@ parseArgs(int argc, char **argv)
             a.workload = next();
         else if (arg == "--baseline")
             a.baseline = next();
+        else if (arg == "--stats-out")
+            a.statsOut = next();
+        else if (arg == "--trace-out")
+            a.traceOut = next();
         else if (arg == "--threshold")
             a.threshold = std::atof(next().c_str());
         else if (arg == "--repeats")
@@ -135,6 +150,10 @@ cmdRun(const Args &a)
     ctx.workload = a.workload;
     ctx.repeats = a.repeats;
 
+    SpanTracer tracer;
+    if (!a.traceOut.empty())
+        ctx.tracer = &tracer;
+
     const std::vector<const BenchDef *> defs = benchesMatching(a.filter);
     if (defs.empty())
         pcbp_fatal("no benchmark matches filter '", a.filter, "'");
@@ -148,6 +167,25 @@ cmdRun(const Args &a)
     std::cout << table.toMarkdown();
     std::fprintf(stderr, "wrote %s.json and %s.md\n", stem.c_str(),
                  stem.c_str());
+
+    if (!a.traceOut.empty())
+        tracer.writeFile(a.traceOut);
+    if (!a.statsOut.empty()) {
+        // Host-side run metadata (timings are wall clock, so they
+        // live in the host section by definition).
+        StatRegistry reg;
+        reg.setHost("bench.benches", run.results.size());
+        for (const BenchResult &r : run.results) {
+            const std::string p = "bench." + r.name;
+            reg.setHost(p + ".repeats", r.m.repeats);
+            reg.setHost(p + ".items_per_rep", r.m.itemsPerRep);
+            reg.setHost(p + ".ns_median",
+                        static_cast<std::uint64_t>(r.m.nsMedian));
+            reg.setHost(p + ".ns_max",
+                        static_cast<std::uint64_t>(r.m.nsMax));
+        }
+        reg.writeFiles(a.statsOut);
+    }
     return 0;
 }
 

@@ -9,6 +9,7 @@
  *   pcbp_repro run [--figures LIST|all] [--out DIR] [--jobs N]
  *                  [--quick] [--branches N] [--workloads LIST]
  *                  [--suite LIST] [--max-cells N] [--quiet]
+ *                  [--progress] [--stats-out FILE] [--trace-out FILE]
  *       Run the selected figures' sweep grids against per-figure
  *       stores under DIR/store/ and render DIR/REPRO.md plus
  *       per-figure CSV/JSON artifacts. Cells already in a store are
@@ -18,7 +19,11 @@
  *       its alias --suite) points every figure at other suites,
  *       workloads, or trace:<path> files; --max-cells bounds newly
  *       executed cells (the report renders once all grids are
- *       complete).
+ *       complete). --progress swaps per-cell lines for a throttled
+ *       stderr heartbeat; --stats-out dumps the run-wide stats
+ *       registry (JSON + .md); --trace-out writes a Perfetto-
+ *       loadable span trace. None of the three changes any store or
+ *       report byte.
  *
  *   pcbp_repro render [--figures LIST|all] [--out DIR] [--quick]
  *                     [--branches N] [--workloads LIST] [--suite LIST]
@@ -33,6 +38,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/span_trace.hh"
+#include "obs/stat_registry.hh"
 #include "report/repro.hh"
 
 using namespace pcbp;
@@ -49,7 +56,8 @@ usage(const char *argv0)
         << "  run    [--figures LIST|all] [--out DIR] [--jobs N]"
            " [--quick]\n"
         << "         [--branches N] [--workloads LIST] [--suite LIST]\n"
-        << "         [--max-cells N] [--quiet]\n"
+        << "         [--max-cells N] [--quiet] [--progress]\n"
+        << "         [--stats-out FILE] [--trace-out FILE]\n"
         << "  render [--figures LIST|all] [--out DIR] [--quick]"
            " [--branches N]\n"
         << "         [--workloads LIST] [--suite LIST]\n";
@@ -59,6 +67,8 @@ usage(const char *argv0)
 struct Args
 {
     ReproOptions opts;
+    std::string statsOut;
+    std::string traceOut;
     bool quiet = false;
 };
 
@@ -100,6 +110,12 @@ parseArgs(int argc, char **argv)
             a.opts.quick = true;
         else if (arg == "--quiet")
             a.quiet = true;
+        else if (arg == "--progress")
+            a.opts.progress = true;
+        else if (arg == "--stats-out")
+            a.statsOut = next();
+        else if (arg == "--trace-out")
+            a.traceOut = next();
         else
             usage(argv[0]);
     }
@@ -124,13 +140,27 @@ cmdList()
 int
 cmdRun(Args a)
 {
-    if (!a.quiet) {
+    // The heartbeat replaces the per-cell log lines; --quiet mutes
+    // both.
+    if (a.quiet)
+        a.opts.progress = false;
+    if (!a.quiet && !a.opts.progress) {
         std::size_t done = 0;
         a.opts.log = [done](const std::string &line) mutable {
             std::cerr << "[" << ++done << "] " << line << "\n";
         };
     }
+    StatRegistry reg;
+    SpanTracer tracer;
+    if (!a.statsOut.empty())
+        a.opts.stats = &reg;
+    if (!a.traceOut.empty())
+        a.opts.tracer = &tracer;
     const ReproSummary s = runRepro(a.opts);
+    if (a.opts.stats)
+        reg.writeFiles(a.statsOut);
+    if (a.opts.tracer)
+        tracer.writeFile(a.traceOut);
     std::cout << "repro: " << s.totalCells << " cells, "
               << s.skippedCells << " already done, "
               << s.executedCells << " executed\n";

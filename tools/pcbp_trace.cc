@@ -22,10 +22,13 @@
  *       driver/sweep layers: trace:FILE.
  *
  *   pcbp_trace h2p FILE [replay options] [--top N]
+ *                       [--stats-out FILE]
  *       Replay FILE with the commit-path H2P profiler attached and
  *       print the hard-to-predict branch report: per-branch
  *       accuracy/entropy, the top-miss ranking, and how concentrated
  *       the misses are (Lin & Tarsa / Bullseye-style targeting view).
+ *       --stats-out dumps the engine's stats registry with the
+ *       profiler's per-PC `h2p.*` section on top (pcbp-stats-1).
  */
 
 #include <cinttypes>
@@ -35,6 +38,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/stat_registry.hh"
 #include "sim/driver.hh"
 #include "workload/trace.hh"
 
@@ -55,7 +59,8 @@ usage(const char *argv0)
         "                 [--critic K|none] [--critic-budget B]\n"
         "                 [--future-bits N] [--warmup N] [--measure N]\n"
         "                 [--timing]\n"
-        "  h2p       FILE [replay options] [--top N]\n",
+        "  h2p       FILE [replay options] [--top N]"
+        " [--stats-out FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -130,6 +135,7 @@ struct ReplayOptions
         hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
                    CriticKind::TaggedGshare, Budget::B8KB, 8);
     std::optional<std::uint64_t> warmupOpt, measureOpt;
+    std::string statsOut;
     bool timing = false;
     bool sawTop = false;
     std::size_t top = 10;
@@ -164,7 +170,9 @@ parseReplayOptions(int argc, char **argv)
         else if (a == "--top" && i + 1 < argc) {
             o.sawTop = true;
             o.top = parseCount(argv[++i]);
-        } else
+        } else if (a == "--stats-out" && i + 1 < argc)
+            o.statsOut = argv[++i];
+        else
             usage("pcbp_trace");
     }
     if (!haveCritic) {
@@ -180,6 +188,8 @@ cmdReplay(const std::string &path, int argc, char **argv)
     const ReplayOptions o = parseReplayOptions(argc, argv);
     if (o.sawTop)
         pcbp_fatal("--top belongs to the h2p command");
+    if (!o.statsOut.empty())
+        pcbp_fatal("--stats-out belongs to the h2p command");
     const HybridSpec &spec = o.spec;
     const bool timing = o.timing;
 
@@ -245,8 +255,29 @@ cmdH2p(const std::string &path, int argc, char **argv)
 
     H2PConfig hcfg;
     hcfg.topN = o.top;
-    const H2PReport report = runH2P(w, o.spec, cfg, hcfg);
+    if (o.statsOut.empty()) {
+        const H2PReport report = runH2P(w, o.spec, cfg, hcfg);
+        std::fputs(report.render().c_str(), stdout);
+        return 0;
+    }
+
+    // Own the commit tap (what runH2P does internally) so the
+    // engine's counters and the profiler's per-PC section land in
+    // one registry dump.
+    H2PProfiler profiler(cfg.warmupBranches);
+    cfg.commitSink = &profiler;
+    StatRegistry reg;
+    cfg.statsOut = &reg;
+    runAccuracy(w, o.spec, cfg);
+
+    H2PReport report = profiler.report(hcfg);
+    report.workload = w.name;
+    report.config = o.spec.label();
     std::fputs(report.render().c_str(), stdout);
+
+    profiler.exportStats(reg);
+    reg.writeFiles(o.statsOut);
+    std::printf("stats: %s\n", o.statsOut.c_str());
     return 0;
 }
 
