@@ -32,6 +32,12 @@ UnfilteredCritic::reset()
     inner->reset();
 }
 
+FilteredPredictorPtr
+UnfilteredCritic::clone() const
+{
+    return std::make_unique<UnfilteredCritic>(inner->clone());
+}
+
 std::size_t
 UnfilteredCritic::sizeBits() const
 {

@@ -39,6 +39,11 @@ class FilteredPerceptron final : public FilteredPredictor
     void train(Addr pc, const HistoryRegister &bor, bool taken,
                bool mispredicted) override;
     void reset() override;
+
+    FilteredPredictorPtr clone() const override
+    {
+        return std::make_unique<FilteredPerceptron>(*this);
+    }
     std::size_t sizeBits() const override;
     unsigned borBits() const override;
     std::string name() const override;

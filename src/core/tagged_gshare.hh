@@ -35,6 +35,11 @@ class TaggedGshare final : public FilteredPredictor
     void train(Addr pc, const HistoryRegister &bor, bool taken,
                bool mispredicted) override;
     void reset() override;
+
+    FilteredPredictorPtr clone() const override
+    {
+        return std::make_unique<TaggedGshare>(*this);
+    }
     std::size_t sizeBits() const override;
     unsigned borBits() const override { return filter.borBits(); }
     std::string name() const override;

@@ -198,6 +198,44 @@ sweepBody(const BenchContext &ctx)
     return s.executedCells;
 }
 
+/**
+ * The shared-warmup ladder grid both fork benches run: one
+ * configuration, ten warmup budgets, a small fixed measured window —
+ * the grid shape fork-based execution optimizes (DESIGN.md §11).
+ * Work items are the grid's total branches Σ(wb+mb), identical for
+ * both benches, so the fork/replay throughput ratio is exactly the
+ * wall-clock ratio.
+ */
+SweepSpec
+forkLadderSpec(const BenchContext &ctx)
+{
+    SweepSpec spec;
+    spec.name = "perf-fork-ladder";
+    spec.axes.prophets = {ProphetKind::Gshare};
+    spec.axes.critics = {CriticKind::TaggedGshare};
+    spec.workloads = {benchWorkload(ctx).name};
+    spec.branches = 1000;
+    const std::uint64_t unit = ctx.quick ? 5000 : 50000;
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        spec.warmups.push_back(i * unit);
+    return spec;
+}
+
+std::uint64_t
+forkLadderBody(const BenchContext &ctx, bool fork)
+{
+    const SweepSpec spec = forkLadderSpec(ctx);
+    ResultStore store; // in-memory: each repetition recomputes
+    SweepRunOptions opt;
+    opt.jobs = 1;
+    opt.fork = fork;
+    runSweep(spec, store, opt);
+    std::uint64_t branches = 0;
+    for (const SweepCell &cell : spec.cells())
+        branches += cell.warmupBranches + cell.measureBranches;
+    return branches;
+}
+
 /** One quick-scale repro-figure repetition: sweeps + render. */
 std::uint64_t
 reproBody(const BenchContext &ctx)
@@ -302,6 +340,22 @@ buildRegistry()
                     "wall-clock of a 2-cell sweep grid through the "
                     "work-stealing runner (jobs=1, in-memory store)",
                     "cell", sweepBody});
+    defs.push_back({"sweep.replay_grid", "sweep",
+                    "10-cell shared-warmup ladder grid with forking "
+                    "disabled: every cell replays its full warmup "
+                    "(jobs=1, in-memory store)",
+                    "branch", [](const BenchContext &ctx) {
+                        return forkLadderBody(ctx, false);
+                    }});
+    defs.push_back({"sweep.fork_grid", "sweep",
+                    "the same ladder grid with fork-based execution "
+                    "(DESIGN.md §11): one canonical simulation per "
+                    "config, cloned at each snapshot; items match "
+                    "replay_grid, so the throughput ratio is the "
+                    "wall-clock ratio",
+                    "branch", [](const BenchContext &ctx) {
+                        return forkLadderBody(ctx, true);
+                    }});
     defs.push_back({"repro.fig5", "repro",
                     "wall-clock of the fig5 reproduction at quick "
                     "scale: sweeps + render (jobs=1, in-memory store)",

@@ -23,8 +23,10 @@
  *  - engine.* / timing.*: end-to-end committed-branch throughput of
  *    the accuracy Engine and the cycle-level TimingSim on a named
  *    workload (overridable, including trace:<path>);
- *  - sweep.* / repro.*: wall-clock of one sweep grid and one
- *    quick-scale repro figure through the real orchestration layers.
+ *  - sweep.* / repro.*: wall-clock of sweep grids (including the
+ *    fork_grid/replay_grid shared-warmup ladder pair, which prices
+ *    fork-based execution — DESIGN.md §11) and one quick-scale repro
+ *    figure through the real orchestration layers.
  *
  * Benchmark bodies rebuild all predictor/simulator state every
  * repetition, so repetitions are independent and the median is

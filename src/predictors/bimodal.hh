@@ -28,6 +28,11 @@ class Bimodal final : public DirectionPredictor
     bool predict(Addr pc, const HistoryRegister &hist) override;
     void update(Addr pc, const HistoryRegister &hist, bool taken) override;
     void reset() override;
+
+    DirectionPredictorPtr clone() const override
+    {
+        return std::make_unique<Bimodal>(*this);
+    }
     std::size_t sizeBits() const override;
     unsigned historyLength() const override { return 0; }
     std::string name() const override;

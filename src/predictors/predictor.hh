@@ -45,6 +45,11 @@ namespace pcbp
 
 class StatRegistry;
 
+class DirectionPredictor;
+class FilteredPredictor;
+using DirectionPredictorPtr = std::unique_ptr<DirectionPredictor>;
+using FilteredPredictorPtr = std::unique_ptr<FilteredPredictor>;
+
 /**
  * Interface for conventional direction predictors (prophets and
  * unfiltered critics).
@@ -74,6 +79,16 @@ class DirectionPredictor
 
     /** Clear all prediction state. */
     virtual void reset() = 0;
+
+    /**
+     * Deep copy, trained state included: the clone's future
+     * predict/update sequence behaves exactly as this predictor's
+     * would, with no aliasing between the two. This is the snapshot
+     * seam behind fork-based sweep execution (DESIGN.md §11); the
+     * determinism contract above is what makes a clone equivalent to
+     * replaying the call sequence.
+     */
+    virtual DirectionPredictorPtr clone() const = 0;
 
     /** Storage cost in bits (counts counters, weights, tags, LRU). */
     virtual std::size_t sizeBits() const = 0;
@@ -140,6 +155,10 @@ class FilteredPredictor
     /** Clear all state. */
     virtual void reset() = 0;
 
+    /** As DirectionPredictor::clone(): deep copy, trained state
+     *  and filter entries included. */
+    virtual FilteredPredictorPtr clone() const = 0;
+
     /** Storage cost in bits. */
     virtual std::size_t sizeBits() const = 0;
 
@@ -155,9 +174,6 @@ class FilteredPredictor
 
     std::size_t sizeBytes() const { return (sizeBits() + 7) / 8; }
 };
-
-using DirectionPredictorPtr = std::unique_ptr<DirectionPredictor>;
-using FilteredPredictorPtr = std::unique_ptr<FilteredPredictor>;
 
 } // namespace pcbp
 

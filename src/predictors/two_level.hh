@@ -30,6 +30,11 @@ class TwoLevel final : public DirectionPredictor
     bool predict(Addr pc, const HistoryRegister &hist) override;
     void update(Addr pc, const HistoryRegister &hist, bool taken) override;
     void reset() override;
+
+    DirectionPredictorPtr clone() const override
+    {
+        return std::make_unique<TwoLevel>(*this);
+    }
     std::size_t sizeBits() const override;
     unsigned historyLength() const override { return histBits; }
     std::string name() const override;

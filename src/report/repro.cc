@@ -221,6 +221,7 @@ runRepro(const ReproOptions &opts)
                                fsum.executedCells;
             run.stats = opts.stats;
             run.tracer = opts.tracer;
+            run.fork = opts.fork;
             run.onCellDone = [&](const SweepCell &cell,
                                  const CellResult &result) {
                 log(f->id + ": " + cell.key());

@@ -90,6 +90,15 @@ struct ReproOptions
      * ETA). Quiet when the log level filters Info.
      */
     bool progress = false;
+
+    /**
+     * Fork-based sweep execution (DESIGN.md §11): grid cells that
+     * differ only in run lengths share one simulation per
+     * configuration. Every artifact is byte-identical with this on
+     * or off; off (pcbp_repro --no-fork) forces one full simulation
+     * per cell.
+     */
+    bool fork = true;
 };
 
 /** The fixed per-cell budget of --quick runs. */

@@ -48,6 +48,21 @@ ProgramWalkStream::ProgramWalkStream(Program &program_,
     program.resetWalk();
 }
 
+ProgramWalkStream::ProgramWalkStream(const ProgramWalkStream &other,
+                                     Program &program_,
+                                     std::uint64_t limit_)
+    : CommittedStream(other), program(program_), limit(limit_),
+      cur(other.cur), walked(other.walked)
+{
+    // The adopted window and walk cursor must lie inside this
+    // stream's own budget, or the fork would hold records a fresh
+    // stream of this limit could never have produced.
+    pcbp_assert(walked <= limit,
+                "stream fork past the forked stream's limit");
+    pcbp_assert(program.commitCount() == other.program.commitCount(),
+                "stream fork onto a program at a different position");
+}
+
 bool
 ProgramWalkStream::produceNext(CommittedBranch &out)
 {
@@ -70,6 +85,24 @@ TraceFileStream::TraceFileStream(const std::string &path_,
     // file positioned at the first record.
     file = openTraceFile(path, count);
     buf.resize(chunk_records * tracefmt::recordBytes);
+}
+
+TraceFileStream::TraceFileStream(const TraceFileStream &other)
+    : CommittedStream(other), path(other.path), count(other.count),
+      decoded(other.decoded), buf(other.buf), bufPos(other.bufPos),
+      bufLen(other.bufLen)
+{
+    std::uint64_t header_count = 0;
+    file = openTraceFile(path, header_count);
+    pcbp_assert(header_count == count,
+                "trace file changed under a stream fork");
+    // openTraceFile left us after the header; skip what the original
+    // already pulled off the file (decoded records plus the unread
+    // tail of its buffered chunk).
+    const std::uint64_t consumed =
+        decoded * tracefmt::recordBytes + (bufLen - bufPos);
+    if (std::fseek(file, static_cast<long>(consumed), SEEK_CUR) != 0)
+        pcbp_fatal("cannot seek '", path, "' for a stream fork");
 }
 
 TraceFileStream::~TraceFileStream()

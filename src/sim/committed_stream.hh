@@ -107,6 +107,16 @@ class CommittedStream
   protected:
     CommittedStream() : window(kInitialWindow) {}
 
+    /**
+     * Fork support (DESIGN.md §11): copy the window, cursors, and
+     * counters of @p other, so a derived-class fork constructor that
+     * also duplicates its production state yields a stream whose
+     * at()/release()/stats behavior is indistinguishable from one
+     * that replayed @p other's call sequence from scratch. Protected:
+     * only derived classes know how to duplicate production state.
+     */
+    CommittedStream(const CommittedStream &other) = default;
+
     /** Produce the next record; false once the stream is done. */
     virtual bool produceNext(CommittedBranch &out) = 0;
 
@@ -141,6 +151,20 @@ class ProgramWalkStream : public CommittedStream
     /** Walk @p program for up to @p limit branches. */
     ProgramWalkStream(Program &program, std::uint64_t limit);
 
+    /**
+     * Fork: continue @p other's walk mid-stream on @p program —
+     * which must be a clone() of @p other's program — under this
+     * stream's own @p limit. Requires that @p other has not walked
+     * past @p limit yet; the forked stream then behaves exactly like
+     * a fresh stream over @p program that replayed @p other's call
+     * sequence. Neither validates nor resets the program.
+     */
+    ProgramWalkStream(const ProgramWalkStream &other, Program &program,
+                      std::uint64_t limit);
+
+    ProgramWalkStream(const ProgramWalkStream &) = delete;
+    ProgramWalkStream &operator=(const ProgramWalkStream &) = delete;
+
     std::uint64_t length() const override { return limit; }
     const char *backendName() const override { return "program_walk"; }
 
@@ -167,7 +191,13 @@ class TraceFileStream : public CommittedStream
                              std::size_t chunk_records = 4096);
     ~TraceFileStream() override;
 
-    TraceFileStream(const TraceFileStream &) = delete;
+    /**
+     * Fork: an independent stream at the same mid-trace position —
+     * its own file handle seeked past the records @p other already
+     * consumed, buffered chunk copied. Fatal if the file shrank
+     * underneath the original.
+     */
+    TraceFileStream(const TraceFileStream &other);
     TraceFileStream &operator=(const TraceFileStream &) = delete;
 
     std::uint64_t length() const override { return count; }
@@ -186,7 +216,8 @@ class TraceFileStream : public CommittedStream
     std::size_t bufLen = 0;
 };
 
-/** In-memory stream over an already-materialized trace. */
+/** In-memory stream over an already-materialized trace. Copyable:
+ *  a copy is a mid-stream fork (DESIGN.md §11). */
 class PrecomputedStream : public CommittedStream
 {
   public:
@@ -194,6 +225,8 @@ class PrecomputedStream : public CommittedStream
         : trace(std::move(trace))
     {
     }
+
+    PrecomputedStream(const PrecomputedStream &) = default;
 
     std::uint64_t length() const override { return trace.size(); }
     const char *backendName() const override { return "precomputed"; }

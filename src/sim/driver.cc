@@ -1,5 +1,6 @@
 #include "sim/driver.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -130,6 +131,135 @@ H2PReport
 runH2P(const Workload &w, const HybridSpec &spec, const H2PConfig &h2p)
 {
     return runH2P(w, spec, engineConfigFor(w), h2p);
+}
+
+namespace
+{
+
+/**
+ * Shared chain body (DESIGN.md §11): run the canonical (largest
+ * budget) point, pausing at each earlier point's snapshot target to
+ * fork cloned {program, predictor, stream, simulator} state; each
+ * fork then runs only its own remainder. Sim is Engine or TimingSim
+ * (same split-phase surface).
+ */
+template <typename Sim, typename Config, typename Stats>
+std::vector<Stats>
+chainImpl(const Workload &w, const HybridSpec &spec,
+          const std::vector<Config> &configs,
+          std::uint64_t (*snapshot_target)(const Config &),
+          ChainObs *obs)
+{
+    pcbp_assert(!configs.empty());
+
+    // Snapshot points must be visited oldest-first; the canonical is
+    // the lexicographic-max (warmup, measure) point, so it is still
+    // running when every earlier point forks.
+    std::vector<std::size_t> order(configs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (configs[a].warmupBranches !=
+                      configs[b].warmupBranches) {
+                      return configs[a].warmupBranches <
+                             configs[b].warmupBranches;
+                  }
+                  return configs[a].measureBranches <
+                         configs[b].measureBranches;
+              });
+
+    Program program = buildProgram(w);
+    auto hybrid = spec.build();
+    const Config &canon = configs[order.back()];
+    Sim sim(program, *hybrid, canon);
+
+    std::vector<Stats> results(configs.size());
+
+    const auto drive = [&](CommittedStream &stream,
+                           const auto &make_fork) {
+        sim.beginRun(stream);
+        for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+            const Config &cfg = configs[order[k]];
+            sim.stepUntil(snapshot_target(cfg), stream);
+            Program fork_prog = program.clone();
+            auto fork_hybrid = hybrid->clone();
+            auto fork_stream = make_fork(
+                fork_prog, cfg.warmupBranches + cfg.measureBranches);
+            Sim fork_sim(sim, fork_prog, *fork_hybrid, cfg);
+            results[order[k]] = fork_sim.resumeRun(*fork_stream);
+            if (obs) {
+                ++obs->snapshots;
+                obs->warmupBranchesSaved += sim.committedSoFar();
+            }
+        }
+        results[order.back()] = sim.finishRun(stream);
+    };
+
+    if (!w.tracePath.empty()) {
+        TraceFileStream stream(w.tracePath);
+        drive(stream, [&](Program &, std::uint64_t) {
+            return std::make_unique<TraceFileStream>(stream);
+        });
+    } else {
+        ProgramWalkStream stream(
+            program, canon.warmupBranches + canon.measureBranches);
+        drive(stream, [&](Program &fork_prog, std::uint64_t limit) {
+            return std::make_unique<ProgramWalkStream>(stream, fork_prog,
+                                                       limit);
+        });
+    }
+    return results;
+}
+
+} // namespace
+
+std::vector<EngineStats>
+runAccuracyChain(const Workload &w, const HybridSpec &spec,
+                 const std::vector<EngineConfig> &configs,
+                 ChainObs *obs)
+{
+    for (const EngineConfig &c : configs) {
+        pcbp_assert(c.commitSink == nullptr,
+                    "a fork cannot replay a commit tap's prefix; sink "
+                    "cells take the replay path");
+        pcbp_assert(!c.oracleFutureBits,
+                    "oracle cells take the replay path");
+        pcbp_assert(c.warmupBranches >= 1,
+                    "chaining a cell with no warmup saves nothing");
+    }
+    // Commit-side stats of branch N are recorded before the cursor
+    // advances but flush-side stats after, so the latest in-warmup
+    // loop-top is exactly warmup - 1 committed branches.
+    return chainImpl<Engine, EngineConfig, EngineStats>(
+        w, spec, configs,
+        [](const EngineConfig &c) { return c.warmupBranches - 1; },
+        obs);
+}
+
+std::vector<TimingStats>
+runTimingChain(const Workload &w, const HybridSpec &spec,
+               const std::vector<TimingConfig> &configs, ChainObs *obs)
+{
+    for (const TimingConfig &c : configs) {
+        pcbp_assert(c.commitSink == nullptr,
+                    "a fork cannot replay a commit tap's prefix; sink "
+                    "cells take the replay path");
+        pcbp_assert(c.warmupBranches >= 1,
+                    "chaining a cell with no warmup saves nothing");
+        pcbp_assert(timingForkable(c),
+                    "short-measure timing cells take the replay path");
+    }
+    // Cycle-boundary stops overshoot by up to retireWidth - 1
+    // commits, so aim a full retire burst short of the warmup edge.
+    return chainImpl<TimingSim, TimingConfig, TimingStats>(
+        w, spec, configs,
+        [](const TimingConfig &c) {
+            return c.warmupBranches > c.retireWidth
+                       ? c.warmupBranches - c.retireWidth
+                       : 0;
+        },
+        obs);
 }
 
 std::vector<EngineStats>

@@ -94,6 +94,44 @@ H2PReport runH2P(const Workload &w, const HybridSpec &spec,
 H2PReport runH2P(const Workload &w, const HybridSpec &spec,
                  const H2PConfig &h2p = {});
 
+/** Per-chain fork observability (the sweep.fork.* host stats). */
+struct ChainObs
+{
+    /** Mid-run clones taken (one per non-canonical chain point). */
+    std::uint64_t snapshots = 0;
+
+    /** Warmup branches the forks did not have to re-simulate. */
+    std::uint64_t warmupBranchesSaved = 0;
+};
+
+/**
+ * Fork chain (DESIGN.md §11): run several (warmup, measure) budgets
+ * of the *same* (workload, predictor recipe) as one simulation.
+ * Warmup length gates only which events are counted — never the
+ * simulated trajectory — so the runs are prefixes of one another:
+ * the longest runs once (the canonical), and each shorter budget
+ * forks cloned simulator state at a snapshot inside its own warmup,
+ * then runs just its remainder. Stats are bit-identical to one
+ * independent run per config; wall clock pays each shared warmup
+ * prefix once. @p configs must agree on everything except run
+ * lengths and stats plumbing, none may carry a commit sink (a fork
+ * cannot replay the tap's prefix) or oracle future bits; results
+ * come back in @p configs order.
+ */
+std::vector<EngineStats> runAccuracyChain(
+    const Workload &w, const HybridSpec &spec,
+    const std::vector<EngineConfig> &configs, ChainObs *obs = nullptr);
+
+/**
+ * runAccuracyChain for the timing model. Every config must satisfy
+ * timingForkable() — the measured budget has to cover the window
+ * lookahead, or a short run's end-of-run stall could diverge from
+ * the canonical before its snapshot (timing.hh).
+ */
+std::vector<TimingStats> runTimingChain(
+    const Workload &w, const HybridSpec &spec,
+    const std::vector<TimingConfig> &configs, ChainObs *obs = nullptr);
+
 /**
  * Run a workload set under one spec, in parallel across workloads,
  * and return per-workload stats in set order.

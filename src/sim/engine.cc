@@ -35,6 +35,26 @@ Engine::Engine(Program &program_, ProphetCriticHybrid &hybrid_,
                 "pipeline depth must exceed the future-bit count");
 }
 
+Engine::Engine(const Engine &other, Program &program_,
+               ProphetCriticHybrid &hybrid_, const EngineConfig &config)
+    : program(program_), hybrid(hybrid_), cfg(config),
+      core(other.core, program_, hybrid_, config.commitSink),
+      coreObs(other.coreObs), commitIdx(other.commitIdx),
+      uopsSinceFlush(other.uopsSinceFlush)
+{
+    // Differing warmup/measure budgets (and per-fork stats/sink
+    // plumbing) are the point of forking; anything that shapes the
+    // simulated state trajectory must match, or the fork would not
+    // be equivalent to an uninterrupted run.
+    pcbp_assert(cfg.pipelineDepth == other.cfg.pipelineDepth &&
+                    cfg.useBtb == other.cfg.useBtb &&
+                    cfg.btbEntries == other.cfg.btbEntries &&
+                    cfg.btbWays == other.cfg.btbWays &&
+                    !cfg.oracleFutureBits,
+                "fork configuration changes simulated behavior");
+    core.attachObs(cfg.statsOut ? &coreObs : nullptr);
+}
+
 bool
 Engine::critiqueAt(std::size_t idx)
 {
@@ -158,6 +178,13 @@ Engine::run()
 EngineStats
 Engine::run(CommittedStream &committed)
 {
+    beginRun(committed);
+    return finishRun(committed);
+}
+
+void
+Engine::beginRun(CommittedStream &committed)
+{
     totalBranches = std::min(cfg.warmupBranches + cfg.measureBranches,
                              committed.length());
 
@@ -171,13 +198,42 @@ Engine::run(CommittedStream &committed)
     uopsSinceFlush = 0;
     stats = EngineStats{};
     perBranchMap.clear();
+}
 
-    while (commitIdx < totalBranches) {
+bool
+Engine::stepUntil(std::uint64_t commit_target,
+                  CommittedStream &committed)
+{
+    while (commitIdx < totalBranches && commitIdx < commit_target) {
         while (core.queueSize() < cfg.pipelineDepth)
             core.fetchNext();
         critiqueReady();
         resolveOldest(committed);
     }
+    return commitIdx < totalBranches;
+}
+
+EngineStats
+Engine::resumeRun(CommittedStream &committed)
+{
+    totalBranches = std::min(cfg.warmupBranches + cfg.measureBranches,
+                             committed.length());
+    // Landing inside this fork's warmup is what keeps its measured
+    // stats identical to an uninterrupted run: commit-side stats of
+    // branch N are recorded before the commit cursor advances, but
+    // flush-side stats after, so the newest branch a fork may have
+    // missed is warmupBranches - 1.
+    pcbp_assert(commitIdx < cfg.warmupBranches,
+                "fork past the start of its measured window");
+    pcbp_assert(committed.produced() <= totalBranches,
+                "forked stream ahead of this fork's budget");
+    return finishRun(committed);
+}
+
+EngineStats
+Engine::finishRun(CommittedStream &committed)
+{
+    stepUntil(totalBranches, committed);
 
     if (cfg.collectPerBranch) {
         stats.perBranch.reserve(perBranchMap.size());

@@ -179,6 +179,20 @@ class Engine
            const EngineConfig &config);
 
     /**
+     * Fork (DESIGN.md §11): duplicate @p other's mid-run state —
+     * spec core (queue, BTB, fetch pointer), commit cursor, flush
+     * distance, protocol counters — onto @p program and @p hybrid,
+     * which must be clone()s of @p other's at the same point.
+     * @p config supplies this fork's own warmup/measure budget, stats
+     * registry, and commit sink; it must agree with @p other's
+     * configuration on everything that shapes simulated behavior
+     * (pipeline depth, BTB geometry; oracle mode cannot fork).
+     * Continue with resumeRun().
+     */
+    Engine(const Engine &other, Program &program,
+           ProphetCriticHybrid &hybrid, const EngineConfig &config);
+
+    /**
      * Run the configured number of branches over the program's own
      * committed walk (streamed, O(pipeline) memory) and return stats.
      */
@@ -191,6 +205,43 @@ class Engine
      * length is the configured branch budget capped by the stream.
      */
     EngineStats run(CommittedStream &committed);
+
+    /** @name Split-phase execution (fork-based sweeps, DESIGN.md §11)
+     *
+     * run(committed) == beginRun(); stepUntil(...); finishRun();.
+     * The split exists so a chain runner can pause a canonical run at
+     * a loop boundary (every state transition complete, commit cursor
+     * exact), fork clones, and resume.
+     */
+    /// @{
+
+    /** Arm a run over @p committed (resets cursors and stats). */
+    void beginRun(CommittedStream &committed);
+
+    /**
+     * Advance until @p commit_target branches have committed (or the
+     * run ends). Stops at the top of the commit loop: exactly
+     * @p commit_target commits have happened, nothing of commit
+     * @p commit_target itself has. @return false once the run ended.
+     */
+    bool stepUntil(std::uint64_t commit_target,
+                   CommittedStream &committed);
+
+    /** Run to completion and export/return the stats. */
+    EngineStats finishRun(CommittedStream &committed);
+
+    /**
+     * Entry point for a forked engine: adopt @p committed (a
+     * mid-stream fork positioned exactly where the forked-from run
+     * paused) and run this fork's own budget to completion. Must
+     * still be inside this fork's warmup, so every measured stat is
+     * identical to what an uninterrupted run would have produced.
+     */
+    EngineStats resumeRun(CommittedStream &committed);
+
+    /** Committed branches so far (the fork/snapshot cursor). */
+    std::uint64_t committedSoFar() const { return commitIdx; }
+    /// @}
 
   private:
     using Inflight = SpecRecord<EnginePayload>;

@@ -44,6 +44,23 @@ SpecCore<Payload>::SpecCore(Program &program_,
 }
 
 template <typename Payload>
+SpecCore<Payload>::SpecCore(const SpecCore &other, Program &program_,
+                            ProphetCriticHybrid &hybrid_,
+                            CommitSink *sink)
+    : program(program_), hybrid(hybrid_), cfg(other.cfg),
+      btb(other.btb), slab(other.slab), headAbs(other.headAbs),
+      tailAbs(other.tailAbs), firstUncritAbs(other.firstUncritAbs),
+      hitsFetched(other.hitsFetched), fetchBlock(other.fetchBlock),
+      specTraceIdx(other.specTraceIdx)
+{
+    // The oracle stream belongs to the forked-from run and cannot be
+    // duplicated from here; oracle-mode cells take the replay path.
+    pcbp_assert(!cfg.oracleFutureBits && other.oracle == nullptr,
+                "cannot fork an oracle-future-bits core");
+    cfg.commitSink = sink;
+}
+
+template <typename Payload>
 void
 SpecCore<Payload>::beginRun(CommittedStream *oracle_,
                             std::uint64_t oracle_limit,

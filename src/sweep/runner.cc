@@ -1,5 +1,6 @@
 #include "sweep/runner.hh"
 
+#include <map>
 #include <mutex>
 
 #include "common/logging.hh"
@@ -9,6 +10,80 @@
 
 namespace pcbp
 {
+
+namespace
+{
+
+/**
+ * A schedulable piece of a sweep: either one cell on the replay path
+ * (one full simulation) or a fork chain — every pending cell of one
+ * fork group, executed as a single canonical simulation plus a clone
+ * per earlier snapshot point (DESIGN.md §11).
+ */
+struct SweepUnit
+{
+    std::vector<std::size_t> members; //!< indices into `pending`
+    bool chain = false;
+};
+
+/** Whether a whole fork group may take the chain path. */
+bool
+chainable(const std::vector<const SweepCell *> &group)
+{
+    if (group.size() < 2)
+        return false; // nothing shared; replay is the same work
+    for (const SweepCell *cell : group) {
+        if (cell->oracleFutureBits)
+            return false; // the oracle stream cannot be forked
+        if (cell->warmupBranches < 1)
+            return false;
+        if (cell->timing && !timingForkable(cell->timingConfig()))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Partition the pending cells into units. Grouping is by
+ * forkGroupKey(), so only cells that are provably prefixes of the
+ * same simulation ever chain; everything else replays unchanged.
+ */
+std::vector<SweepUnit>
+planUnits(const std::vector<const SweepCell *> &pending, bool fork)
+{
+    std::vector<SweepUnit> units;
+    if (!fork) {
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            units.push_back({{i}, false});
+        return units;
+    }
+
+    std::vector<std::string> group_order;
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const std::string key = pending[i]->forkGroupKey();
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted)
+            group_order.push_back(key);
+        it->second.push_back(i);
+    }
+
+    for (const std::string &key : group_order) {
+        const std::vector<std::size_t> &members = groups[key];
+        std::vector<const SweepCell *> cells;
+        for (const std::size_t i : members)
+            cells.push_back(pending[i]);
+        if (chainable(cells)) {
+            units.push_back({members, true});
+        } else {
+            for (const std::size_t i : members)
+                units.push_back({{i}, false});
+        }
+    }
+    return units;
+}
+
+} // namespace
 
 SweepRunSummary
 runSweep(const SweepSpec &spec, ResultStore &store,
@@ -30,6 +105,13 @@ runSweep(const SweepSpec &spec, ResultStore &store,
     }
     summary.executedCells = pending.size();
 
+    // Fork-execution host counters (zero when forking is off or no
+    // group shares a warmup prefix).
+    std::uint64_t fork_groups = 0;
+    std::uint64_t fork_snapshots = 0;
+    std::uint64_t fork_cells_forked = 0;
+    std::uint64_t fork_warmup_saved = 0;
+
     // add (not set): a repro run funnels many sweeps into one
     // registry. The caller owns store.exportStats (a store can back
     // several sweeps; exporting it here would double-count).
@@ -41,6 +123,12 @@ runSweep(const SweepSpec &spec, ResultStore &store,
                            summary.skippedCells);
         opt.stats->addHost("sweep.cells_executed",
                            summary.executedCells);
+        opt.stats->addHost("sweep.fork.groups", fork_groups);
+        opt.stats->addHost("sweep.fork.snapshots", fork_snapshots);
+        opt.stats->addHost("sweep.fork.cells_forked",
+                           fork_cells_forked);
+        opt.stats->addHost("sweep.fork.warmup_branches_saved",
+                           fork_warmup_saved);
         if (pool)
             pool->exportStats(*opt.stats);
     };
@@ -59,6 +147,7 @@ runSweep(const SweepSpec &spec, ResultStore &store,
     std::mutex flushMutex;
 
     const bool collect = opt.stats != nullptr || opt.cellStats;
+    const std::vector<SweepUnit> units = planUnits(pending, opt.fork);
 
     ThreadPool pool(opt.jobs);
     if (opt.tracer) {
@@ -66,43 +155,97 @@ runSweep(const SweepSpec &spec, ResultStore &store,
             opt.tracer->nameThread(w, "worker" + std::to_string(w));
     }
 
-    pool.parallelFor(pending.size(), [&](std::size_t i,
-                                         unsigned worker) {
-        const SweepCell &cell = *pending[i];
+    pool.parallelFor(units.size(), [&](std::size_t u,
+                                       unsigned worker) {
+        const SweepUnit &unit = units[u];
+        const SweepCell &first = *pending[unit.members[0]];
         const std::uint64_t spanStart =
             opt.tracer ? opt.tracer->now() : 0;
 
         // Each cell collects into its own registry — no contention
         // on the simulation path — merged under the flush lock.
-        StatRegistry cellReg;
-        CellResult result;
-        if (cell.timing) {
-            TimingConfig tc = cell.timingConfig();
+        std::vector<StatRegistry> regs(unit.members.size());
+        std::vector<CellResult> unitResults(unit.members.size());
+        ChainObs chainObs;
+
+        if (unit.chain) {
+            // One canonical simulation; every other member is a
+            // mid-warmup fork of it (DESIGN.md §11). Bit-identical
+            // to the replay path below, cell by cell.
+            if (first.timing) {
+                std::vector<TimingConfig> cfgs;
+                cfgs.reserve(unit.members.size());
+                for (std::size_t j = 0; j < unit.members.size(); ++j) {
+                    TimingConfig tc =
+                        pending[unit.members[j]]->timingConfig();
+                    if (collect)
+                        tc.statsOut = &regs[j];
+                    cfgs.push_back(tc);
+                }
+                const std::vector<TimingStats> stats = runTimingChain(
+                    *first.workload, first.spec, cfgs, &chainObs);
+                for (std::size_t j = 0; j < unit.members.size(); ++j) {
+                    unitResults[j] = CellResult::fromTimingRun(
+                        *pending[unit.members[j]], stats[j]);
+                }
+            } else {
+                std::vector<EngineConfig> cfgs;
+                cfgs.reserve(unit.members.size());
+                for (std::size_t j = 0; j < unit.members.size(); ++j) {
+                    EngineConfig ec =
+                        pending[unit.members[j]]->engineConfig();
+                    if (collect)
+                        ec.statsOut = &regs[j];
+                    cfgs.push_back(ec);
+                }
+                const std::vector<EngineStats> stats =
+                    runAccuracyChain(*first.workload, first.spec, cfgs,
+                                     &chainObs);
+                for (std::size_t j = 0; j < unit.members.size(); ++j) {
+                    unitResults[j] = CellResult::fromRun(
+                        *pending[unit.members[j]], stats[j]);
+                }
+            }
+        } else if (first.timing) {
+            TimingConfig tc = first.timingConfig();
             if (collect)
-                tc.statsOut = &cellReg;
-            result = CellResult::fromTimingRun(
-                cell,
-                runTiming(*cell.workload, cell.spec, tc));
+                tc.statsOut = &regs[0];
+            unitResults[0] = CellResult::fromTimingRun(
+                first, runTiming(*first.workload, first.spec, tc));
         } else {
-            EngineConfig ec = cell.engineConfig();
+            EngineConfig ec = first.engineConfig();
             if (collect)
-                ec.statsOut = &cellReg;
-            result = CellResult::fromRun(
-                cell,
-                runAccuracy(*cell.workload, cell.spec, ec));
+                ec.statsOut = &regs[0];
+            unitResults[0] = CellResult::fromRun(
+                first, runAccuracy(*first.workload, first.spec, ec));
         }
-        if (opt.cellStats)
-            result.stats = cellReg.simScalars();
+
+        if (opt.cellStats) {
+            for (std::size_t j = 0; j < unit.members.size(); ++j)
+                unitResults[j].stats = regs[j].simScalars();
+        }
         if (opt.tracer) {
-            opt.tracer->record(cell.key(), "cell", worker, spanStart,
-                               opt.tracer->now());
+            opt.tracer->record(unit.chain ? first.forkGroupKey()
+                                          : first.key(),
+                               unit.chain ? "chain" : "cell", worker,
+                               spanStart, opt.tracer->now());
         }
 
         std::lock_guard<std::mutex> lk(flushMutex);
-        if (opt.stats)
-            opt.stats->merge(cellReg);
-        results[i] = std::move(result);
-        done[i] = true;
+        if (opt.stats) {
+            for (const StatRegistry &reg : regs)
+                opt.stats->merge(reg);
+        }
+        if (unit.chain) {
+            ++fork_groups;
+            fork_snapshots += chainObs.snapshots;
+            fork_cells_forked += unit.members.size() - 1;
+            fork_warmup_saved += chainObs.warmupBranchesSaved;
+        }
+        for (std::size_t j = 0; j < unit.members.size(); ++j) {
+            results[unit.members[j]] = std::move(unitResults[j]);
+            done[unit.members[j]] = true;
+        }
         while (cursor < pending.size() && done[cursor]) {
             store.put(results[cursor]);
             if (opt.onCellDone)

@@ -65,9 +65,21 @@ struct SweepRunOptions
      */
     bool cellStats = false;
 
-    /** Span tracer: one "cell" span per executed cell, tagged with
-     *  the worker that ran it. Not owned; null = no tracing. */
+    /** Span tracer: one "cell" span per executed cell ("chain" span
+     *  per fork chain), tagged with the worker that ran it. Not
+     *  owned; null = no tracing. */
     SpanTracer *tracer = nullptr;
+
+    /**
+     * Fork-based execution (DESIGN.md §11): cells that differ only
+     * in run lengths (same workload, predictor recipe, and mode —
+     * equal SweepCell::forkGroupKey()) share one simulation, cloned
+     * at each shorter cell's snapshot point, so every shared warmup
+     * prefix is simulated once. Stores, exports, and stats stay
+     * bit-identical with forking on or off (and across `jobs`);
+     * off forces the one-full-simulation-per-cell replay path.
+     */
+    bool fork = true;
 };
 
 struct SweepRunSummary

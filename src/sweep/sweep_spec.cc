@@ -79,6 +79,18 @@ criticHasFilter(const std::optional<CriticKind> &c)
 std::string
 SweepCell::key() const
 {
+    return keyImpl(true);
+}
+
+std::string
+SweepCell::forkGroupKey() const
+{
+    return keyImpl(false);
+}
+
+std::string
+SweepCell::keyImpl(bool with_run_lengths) const
+{
     std::ostringstream os;
     os << "w=" << workload->name
        << ";p=" << prophetKindName(spec.prophet)
@@ -87,8 +99,9 @@ SweepCell::key() const
        << ";cb=" << (spec.critic ? budgetName(spec.criticBudget) : "-")
        << ";fb=" << (spec.critic ? spec.futureBits : 0)
        << ";sh=" << (spec.speculativeHistory ? 1 : 0)
-       << ";rh=" << (spec.repairHistory ? 1 : 0)
-       << ";mb=" << measureBranches << ";wb=" << warmupBranches;
+       << ";rh=" << (spec.repairHistory ? 1 : 0);
+    if (with_run_lengths)
+        os << ";mb=" << measureBranches << ";wb=" << warmupBranches;
     // Non-default knobs append so plain accuracy-grid keys (and
     // stores written before these knobs existed) are unchanged.
     if (spec.filterTagBits)
@@ -219,6 +232,10 @@ SweepSpec::parse(const std::string &text)
                            "accuracy/timing)");
         } else if (key == "branches") {
             spec.branches = parseUint(value, lineno, "branches");
+        } else if (key == "warmup") {
+            spec.warmups.clear();
+            for (const auto &s : items)
+                spec.warmups.push_back(parseUint(s, lineno, "warmup"));
         } else if (key == "workloads") {
             spec.workloads = items;
         } else {
@@ -226,7 +243,7 @@ SweepSpec::parse(const std::string &text)
                        "' (known: name, prophet, prophet_budget, "
                        "critic, critic_budget, future_bits, "
                        "spec_history, repair_history, filter_tag_bits, "
-                       "oracle, mode, branches, workloads)");
+                       "oracle, mode, branches, warmup, workloads)");
         }
     }
     if (spec.workloads.empty())
@@ -294,6 +311,12 @@ SweepSpec::serialize() const
         os << "mode = timing\n";
     if (branches)
         os << "branches = " << branches << "\n";
+    if (!warmups.empty()) {
+        std::vector<std::string> wbs;
+        for (const auto wb : warmups)
+            wbs.push_back(std::to_string(wb));
+        os << "warmup = " << join(wbs) << "\n";
+    }
     os << "workloads = " << join(workloads) << "\n";
     return os.str();
 }
@@ -385,32 +408,47 @@ SweepSpec::cells() const
                        "the accuracy engine (mode = accuracy)");
 
         for (const Workload *w : set) {
-            SweepCell cell;
-            cell.spec = spec;
-            cell.workload = w;
-            cell.timing = timing;
-            cell.oracleFutureBits = oracle;
+            SweepCell base;
+            base.spec = spec;
+            base.workload = w;
+            base.timing = timing;
+            base.oracleFutureBits = oracle;
             if (branches) {
-                cell.measureBranches = std::max<std::uint64_t>(
+                base.measureBranches = std::max<std::uint64_t>(
                     std::uint64_t(double(branches) * benchScale()),
                     1000);
-                cell.warmupBranches = std::max<std::uint64_t>(
-                    cell.measureBranches / 10, 100);
+                base.warmupBranches = std::max<std::uint64_t>(
+                    base.measureBranches / 10, 100);
             } else if (timing) {
                 const TimingConfig cfg = timingConfigFor(*w);
-                cell.measureBranches = cfg.measureBranches;
-                cell.warmupBranches = cfg.warmupBranches;
+                base.measureBranches = cfg.measureBranches;
+                base.warmupBranches = cfg.warmupBranches;
             } else {
                 const EngineConfig cfg = engineConfigFor(*w);
-                cell.measureBranches = cfg.measureBranches;
-                cell.warmupBranches = cfg.warmupBranches;
+                base.measureBranches = cfg.measureBranches;
+                base.warmupBranches = cfg.warmupBranches;
             }
-            // Collapsed axes (baseline rows, unfiltered critics)
-            // produce equal keys; dedup keeps the first cell.
-            if (!dedup.insert(cell.key()).second)
-                continue;
-            cell.index = out.size();
-            out.push_back(std::move(cell));
+            // The warmup axis expands innermost: cells differing only
+            // in warmup sit adjacently and share a fork group.
+            std::vector<std::uint64_t> wbs;
+            if (warmups.empty()) {
+                wbs.push_back(base.warmupBranches);
+            } else {
+                for (const std::uint64_t wb : warmups)
+                    wbs.push_back(std::max<std::uint64_t>(
+                        std::uint64_t(double(wb) * benchScale()), 100));
+            }
+            for (const std::uint64_t wb : wbs) {
+                SweepCell cell = base;
+                cell.warmupBranches = wb;
+                // Collapsed axes (baseline rows, unfiltered critics,
+                // scale-flattened warmups) produce equal keys; dedup
+                // keeps the first cell.
+                if (!dedup.insert(cell.key()).second)
+                    continue;
+                cell.index = out.size();
+                out.push_back(std::move(cell));
+            }
         }
     }
     return out;

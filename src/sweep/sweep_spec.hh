@@ -88,11 +88,24 @@ struct SweepCell
     /** 64-bit FNV-1a hash of key(). */
     std::uint64_t hash() const;
 
+    /**
+     * key() minus the run-length fields (mb=, wb=). Cells sharing a
+     * fork-group key run the *same simulation* — workload, predictor
+     * recipe, mode — and differ only in where warmup ends and how
+     * far the measured window runs, so they are prefix-chained runs
+     * of one canonical simulation: the runner simulates the longest
+     * once and forks cloned state into the others (DESIGN.md §11).
+     */
+    std::string forkGroupKey() const;
+
     /** Engine configuration for this cell (accuracy cells). */
     EngineConfig engineConfig() const;
 
     /** Timing configuration for this cell (timing cells). */
     TimingConfig timingConfig() const;
+
+  private:
+    std::string keyImpl(bool with_run_lengths) const;
 };
 
 /** The grid axes; empty axes take single-value defaults. */
@@ -135,6 +148,18 @@ class SweepSpec
      * workload's timing budget). PCBP_BENCH_SCALE applies either way.
      */
     std::uint64_t branches = 0;
+
+    /**
+     * Warmup axis (text format: `warmup = 5000, 10000, ...`):
+     * absolute warmup branch counts, each expanding into its own
+     * cell per configuration (PCBP_BENCH_SCALE applies, floored at
+     * 100). Empty keeps the derived default (a tenth of the measured
+     * budget, or the workload's own). The warmup-sensitivity figure
+     * and the fork benches sweep this axis; its cells differ only in
+     * run lengths, so they share one forked simulation per
+     * configuration (DESIGN.md §11).
+     */
+    std::vector<std::uint64_t> warmups;
 
     /** Parse the text format (fatal with a message on bad input). */
     static SweepSpec parse(const std::string &text);

@@ -45,6 +45,9 @@ struct ArchContext
     std::uint64_t commitIndex;
 };
 
+class BranchBehavior;
+using BranchBehaviorPtr = std::unique_ptr<BranchBehavior>;
+
 class BranchBehavior
 {
   public:
@@ -56,11 +59,16 @@ class BranchBehavior
     /** Restore initial state (for re-walking a program). */
     virtual void reset() = 0;
 
+    /**
+     * Deep copy, mid-stream state included: the clone's outcome
+     * sequence continues exactly where this behavior's would. The
+     * fork seam of the sweep runner (DESIGN.md §11) relies on this.
+     */
+    virtual BranchBehaviorPtr clone() const = 0;
+
     /** Short description, e.g.\ "loop(7)". */
     virtual std::string describe() const = 0;
 };
-
-using BranchBehaviorPtr = std::unique_ptr<BranchBehavior>;
 
 /** Bernoulli: taken with probability @p p, from a private stream. */
 class BiasedBehavior : public BranchBehavior
@@ -69,6 +77,10 @@ class BiasedBehavior : public BranchBehavior
     BiasedBehavior(double p, std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<BiasedBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -84,6 +96,10 @@ class LoopBehavior : public BranchBehavior
     explicit LoopBehavior(unsigned period);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<LoopBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -99,6 +115,10 @@ class PatternBehavior : public BranchBehavior
                     std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<PatternBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -120,6 +140,10 @@ class LocalParityBehavior : public BranchBehavior
     LocalParityBehavior(unsigned width, double noise, std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<LocalParityBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -142,6 +166,10 @@ class GlobalParityBehavior : public BranchBehavior
                          double noise, std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<GlobalParityBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -167,6 +195,10 @@ class GlobalXorBehavior : public BranchBehavior
                       double noise, std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<GlobalXorBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -190,6 +222,10 @@ class GlobalEchoBehavior : public BranchBehavior
                        std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<GlobalEchoBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -249,6 +285,10 @@ class PhaseRevealBehavior : public BranchBehavior
                         std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<PhaseRevealBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -273,6 +313,10 @@ class PhaseXorBehavior : public BranchBehavior
                      std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<PhaseXorBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -301,6 +345,10 @@ class PhasedLoopBehavior : public BranchBehavior
                        unsigned period_b);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<PhasedLoopBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:
@@ -322,6 +370,10 @@ class PhasedBehavior : public BranchBehavior
                    double bias_a, double bias_b, std::uint64_t seed);
     bool nextOutcome(const ArchContext &ctx) override;
     void reset() override;
+    BranchBehaviorPtr clone() const override
+    {
+        return std::make_unique<PhasedBehavior>(*this);
+    }
     std::string describe() const override;
 
   private:

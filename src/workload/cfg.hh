@@ -82,6 +82,14 @@ class Program
     /** Reset the walker and all behavior state. */
     void resetWalk();
 
+    /**
+     * Deep copy, mid-walk state included: blocks (behaviors cloned),
+     * committed history, and the commit counter. The clone's
+     * architectural walk continues exactly where this program's
+     * would — the fork seam of the sweep runner (DESIGN.md §11).
+     */
+    Program clone() const;
+
   private:
     std::string progName;
     std::vector<BasicBlock> blocks;

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Fork/clone equivalence tests (DESIGN.md §11).
+ *
+ * The fork-based sweep executor rests on one claim: cloning a
+ * mid-warmup simulation — program behaviors, predictor, spec core,
+ * committed stream — and resuming the clone produces *bit-identical*
+ * results to an uninterrupted run. These tests pin that claim
+ * registry-wide and at full event granularity:
+ *
+ * - for every factory prophet and every critic kind, on both
+ *   simulators, a run forked at an arbitrary in-warmup branch must
+ *   reproduce the uninterrupted run's commit-order event stream
+ *   (canonical prefix + fork suffix, event by event) and its final
+ *   stats, field by field;
+ * - the equivalence must survive checkpoint-slab growth (pipeline
+ *   deeper than the slab's initial capacity) and recovery-heavy
+ *   configurations (weak prophet, frequent flushes around the fork
+ *   point);
+ * - the chain drivers (runAccuracyChain / runTimingChain) must equal
+ *   per-cell driver runs, and the sweep runner's stores must be
+ *   byte-identical with forking on or off, at any job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.hh"
+#include "sweep/runner.hh"
+#include "workload/generator.hh"
+
+namespace pcbp
+{
+namespace
+{
+
+/** Commit-order event recording tap. */
+struct RecordingSink : CommitSink
+{
+    std::vector<CommitEvent> events;
+
+    void onCommit(const CommitEvent &e) override { events.push_back(e); }
+};
+
+/** A small randomized CFG workload; deterministic per seed. */
+WorkloadRecipe
+forkRecipe(std::uint64_t seed)
+{
+    WorkloadRecipe r;
+    r.name = "fork-" + std::to_string(seed);
+    r.seed = seed;
+    r.targetBlocks = 140 + unsigned(seed % 5) * 25;
+    r.numChains = 4;
+    r.numPhaseChains = 2;
+    return r;
+}
+
+void
+expectSameEvents(const std::vector<CommitEvent> &a,
+                 const std::vector<CommitEvent> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].index, b[i].index) << "at commit " << i;
+        ASSERT_EQ(a[i].block, b[i].block) << "at commit " << i;
+        ASSERT_EQ(a[i].pc, b[i].pc) << "at commit " << i;
+        ASSERT_EQ(a[i].numUops, b[i].numUops) << "at commit " << i;
+        ASSERT_EQ(a[i].btbHit, b[i].btbHit) << "at commit " << i;
+        ASSERT_EQ(a[i].prophetPred, b[i].prophetPred)
+            << "at commit " << i;
+        ASSERT_EQ(a[i].finalPred, b[i].finalPred) << "at commit " << i;
+        ASSERT_EQ(a[i].critiqueProvided, b[i].critiqueProvided)
+            << "at commit " << i;
+        ASSERT_EQ(a[i].criticOverrode, b[i].criticOverrode)
+            << "at commit " << i;
+        ASSERT_EQ(a[i].outcome, b[i].outcome) << "at commit " << i;
+    }
+}
+
+void
+expectSameStats(const EngineStats &a, const EngineStats &b)
+{
+    EXPECT_EQ(a.committedBranches, b.committedBranches);
+    EXPECT_EQ(a.committedUops, b.committedUops);
+    EXPECT_EQ(a.finalMispredicts, b.finalMispredicts);
+    EXPECT_EQ(a.prophetMispredicts, b.prophetMispredicts);
+    EXPECT_EQ(a.btbMisses, b.btbMisses);
+    EXPECT_EQ(a.criticOverrides, b.criticOverrides);
+    EXPECT_EQ(a.squashedPredictions, b.squashedPredictions);
+    EXPECT_EQ(a.wrongPathBranches, b.wrongPathBranches);
+    EXPECT_EQ(a.wrongPathUops, b.wrongPathUops);
+    EXPECT_EQ(a.partialCritiques, b.partialCritiques);
+    for (const CritiqueClass cls :
+         {CritiqueClass::CorrectAgree, CritiqueClass::CorrectDisagree,
+          CritiqueClass::IncorrectAgree,
+          CritiqueClass::IncorrectDisagree, CritiqueClass::CorrectNone,
+          CritiqueClass::IncorrectNone})
+        EXPECT_EQ(a.critiques.get(cls), b.critiques.get(cls));
+    EXPECT_EQ(a.flushDistance.count(), b.flushDistance.count());
+    EXPECT_EQ(a.flushDistance.buckets(), b.flushDistance.buckets());
+}
+
+void
+expectSameStats(const TimingStats &a, const TimingStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committedUops, b.committedUops);
+    EXPECT_EQ(a.committedBranches, b.committedBranches);
+    EXPECT_EQ(a.finalMispredicts, b.finalMispredicts);
+    EXPECT_EQ(a.fetchedUops, b.fetchedUops);
+    EXPECT_EQ(a.wrongPathFetchedUops, b.wrongPathFetchedUops);
+    EXPECT_EQ(a.criticOverrides, b.criticOverrides);
+    EXPECT_EQ(a.ftqEntriesFlushedByCritic,
+              b.ftqEntriesFlushedByCritic);
+    EXPECT_EQ(a.partialCritiques, b.partialCritiques);
+    EXPECT_EQ(a.ftqEmptyCycles, b.ftqEmptyCycles);
+}
+
+/** Uninterrupted engine run: full event stream + stats. */
+std::pair<std::vector<CommitEvent>, EngineStats>
+engineStraight(const WorkloadRecipe &recipe, const HybridSpec &spec,
+               EngineConfig cfg)
+{
+    Program p = generateProgram(recipe);
+    auto h = spec.build();
+    RecordingSink sink;
+    cfg.commitSink = &sink;
+    const EngineStats st = Engine(p, *h, cfg).run();
+    return {std::move(sink.events), st};
+}
+
+/**
+ * The same run, but paused at commit @p fork_at (inside warmup),
+ * forked — program, predictor, stream, engine all cloned — and
+ * finished on the clone. Returns the canonical prefix concatenated
+ * with the fork's suffix, plus the fork's stats.
+ */
+std::pair<std::vector<CommitEvent>, EngineStats>
+engineForked(const WorkloadRecipe &recipe, const HybridSpec &spec,
+             EngineConfig cfg, std::uint64_t fork_at)
+{
+    const std::uint64_t total =
+        cfg.warmupBranches + cfg.measureBranches;
+
+    Program p = generateProgram(recipe);
+    auto h = spec.build();
+    RecordingSink canon_sink;
+    EngineConfig canon_cfg = cfg;
+    canon_cfg.commitSink = &canon_sink;
+    Engine canon(p, *h, canon_cfg);
+    ProgramWalkStream stream(p, total);
+    canon.beginRun(stream);
+    canon.stepUntil(fork_at, stream);
+    EXPECT_EQ(canon.committedSoFar(), fork_at);
+
+    Program fork_prog = p.clone();
+    auto fork_hybrid = h->clone();
+    RecordingSink fork_sink;
+    EngineConfig fork_cfg = cfg;
+    fork_cfg.commitSink = &fork_sink;
+    ProgramWalkStream fork_stream(stream, fork_prog, total);
+    Engine fork(canon, fork_prog, *fork_hybrid, fork_cfg);
+    const EngineStats st = fork.resumeRun(fork_stream);
+
+    std::vector<CommitEvent> events = std::move(canon_sink.events);
+    events.insert(events.end(), fork_sink.events.begin(),
+                  fork_sink.events.end());
+    return {std::move(events), st};
+}
+
+/** Uninterrupted timing run: full event stream + stats. */
+std::pair<std::vector<CommitEvent>, TimingStats>
+timingStraight(const WorkloadRecipe &recipe, const HybridSpec &spec,
+               TimingConfig cfg)
+{
+    Program p = generateProgram(recipe);
+    auto h = spec.build();
+    RecordingSink sink;
+    cfg.commitSink = &sink;
+    const TimingStats st = TimingSim(p, *h, cfg).run();
+    return {std::move(sink.events), st};
+}
+
+/**
+ * Timing analogue of engineForked. The pause lands on a cycle
+ * boundary at or past @p fork_target (stepUntil can overshoot by up
+ * to retireWidth-1 commits), so the target keeps that margin inside
+ * warmup, exactly as the chain driver does.
+ */
+std::pair<std::vector<CommitEvent>, TimingStats>
+timingForked(const WorkloadRecipe &recipe, const HybridSpec &spec,
+             TimingConfig cfg, std::uint64_t fork_target)
+{
+    const std::uint64_t total =
+        cfg.warmupBranches + cfg.measureBranches;
+
+    Program p = generateProgram(recipe);
+    auto h = spec.build();
+    RecordingSink canon_sink;
+    TimingConfig canon_cfg = cfg;
+    canon_cfg.commitSink = &canon_sink;
+    TimingSim canon(p, *h, canon_cfg);
+    ProgramWalkStream stream(p, total);
+    canon.beginRun(stream);
+    canon.stepUntil(fork_target, stream);
+    EXPECT_GE(canon.committedSoFar(), fork_target);
+    EXPECT_LT(canon.committedSoFar(), cfg.warmupBranches);
+
+    Program fork_prog = p.clone();
+    auto fork_hybrid = h->clone();
+    RecordingSink fork_sink;
+    TimingConfig fork_cfg = cfg;
+    fork_cfg.commitSink = &fork_sink;
+    ProgramWalkStream fork_stream(stream, fork_prog, total);
+    TimingSim fork(canon, fork_prog, *fork_hybrid, fork_cfg);
+    const TimingStats st = fork.resumeRun(fork_stream);
+
+    std::vector<CommitEvent> events = std::move(canon_sink.events);
+    events.insert(events.end(), fork_sink.events.begin(),
+                  fork_sink.events.end());
+    return {std::move(events), st};
+}
+
+EngineConfig
+smallEngine()
+{
+    EngineConfig cfg;
+    cfg.measureBranches = 4000;
+    cfg.warmupBranches = 600;
+    return cfg;
+}
+
+TimingConfig
+smallTiming()
+{
+    TimingConfig cfg;
+    // Must clear the forkability floor (measure >= window + retire).
+    cfg.measureBranches = 4000;
+    cfg.warmupBranches = 600;
+    return cfg;
+}
+
+// --------------------------------------------- registry-wide forks
+
+/**
+ * Every factory prophet, forked at arbitrary in-warmup points
+ * (immediately after the first commit, mid-warmup, and at the last
+ * possible snapshot): event streams and stats bit-identical to the
+ * uninterrupted run.
+ */
+TEST(Fork, EngineMatchesUninterruptedForEveryProphet)
+{
+    for (const ProphetKind kind : allProphetKinds()) {
+        const WorkloadRecipe recipe = forkRecipe(31);
+        const HybridSpec spec = prophetAlone(kind, Budget::B2KB);
+        const EngineConfig cfg = smallEngine();
+        const auto [ref_events, ref_stats] =
+            engineStraight(recipe, spec, cfg);
+
+        for (const std::uint64_t fork_at : {1ull, 317ull, 599ull}) {
+            SCOPED_TRACE(prophetKindName(kind) + " fork@" +
+                         std::to_string(fork_at));
+            const auto [events, stats] =
+                engineForked(recipe, spec, cfg, fork_at);
+            expectSameEvents(events, ref_events);
+            expectSameStats(stats, ref_stats);
+        }
+    }
+}
+
+/** Every critic kind riding on two prophets, same contract. */
+TEST(Fork, EngineMatchesUninterruptedForEveryCritic)
+{
+    for (const CriticKind critic : allCriticKinds()) {
+        for (const ProphetKind prophet :
+             {ProphetKind::Gshare, ProphetKind::Tage}) {
+            const WorkloadRecipe recipe = forkRecipe(32);
+            const HybridSpec spec = hybridSpec(
+                prophet, Budget::B2KB, critic, Budget::B2KB, 8);
+            const EngineConfig cfg = smallEngine();
+
+            SCOPED_TRACE(criticKindName(critic) + " on " +
+                         prophetKindName(prophet));
+            const auto [ref_events, ref_stats] =
+                engineStraight(recipe, spec, cfg);
+            const auto [events, stats] =
+                engineForked(recipe, spec, cfg, 211);
+            expectSameEvents(events, ref_events);
+            expectSameStats(stats, ref_stats);
+        }
+    }
+}
+
+/** The timing model honors the same contract, registry-wide. */
+TEST(Fork, TimingMatchesUninterruptedForEveryProphet)
+{
+    for (const ProphetKind kind : allProphetKinds()) {
+        const WorkloadRecipe recipe = forkRecipe(33);
+        const HybridSpec spec = prophetAlone(kind, Budget::B2KB);
+        const TimingConfig cfg = smallTiming();
+        ASSERT_TRUE(timingForkable(cfg));
+        const auto [ref_events, ref_stats] =
+            timingStraight(recipe, spec, cfg);
+
+        for (const std::uint64_t target : {37ull, 500ull}) {
+            SCOPED_TRACE(prophetKindName(kind) + " target " +
+                         std::to_string(target));
+            const auto [events, stats] =
+                timingForked(recipe, spec, cfg, target);
+            expectSameEvents(events, ref_events);
+            expectSameStats(stats, ref_stats);
+        }
+    }
+}
+
+/** Timing hybrid (critic overrides + FTQ flushes around the fork). */
+TEST(Fork, TimingMatchesUninterruptedForHybrid)
+{
+    const WorkloadRecipe recipe = forkRecipe(34);
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::Gshare, Budget::B2KB,
+                   CriticKind::TaggedGshare, Budget::B2KB, 8);
+    const TimingConfig cfg = smallTiming();
+    const auto [ref_events, ref_stats] =
+        timingStraight(recipe, spec, cfg);
+    const auto [events, stats] = timingForked(recipe, spec, cfg, 433);
+    expectSameEvents(events, ref_events);
+    expectSameStats(stats, ref_stats);
+}
+
+// ----------------------------------------------------- stress cases
+
+/**
+ * Checkpoint-slab growth: a pipeline deeper than the spec core's
+ * initial slab capacity forces mid-run reallocation; forking after
+ * the growth must still be exact (absolute indices survive the
+ * copy).
+ */
+TEST(Fork, SurvivesCheckpointSlabGrowth)
+{
+    const WorkloadRecipe recipe = forkRecipe(35);
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::Perceptron, Budget::B2KB,
+                   CriticKind::TaggedGshare, Budget::B2KB, 8);
+    EngineConfig cfg = smallEngine();
+    cfg.pipelineDepth = 96; // > the initial 64-entry slab
+    const auto [ref_events, ref_stats] =
+        engineStraight(recipe, spec, cfg);
+    for (const std::uint64_t fork_at : {5ull, 480ull}) {
+        SCOPED_TRACE("fork@" + std::to_string(fork_at));
+        const auto [events, stats] =
+            engineForked(recipe, spec, cfg, fork_at);
+        expectSameEvents(events, ref_events);
+        expectSameStats(stats, ref_stats);
+    }
+}
+
+/**
+ * Recovery-heavy forking: a tiny prophet on a phase-churning
+ * workload flushes constantly, so snapshots routinely land with
+ * in-flight wrong-path state; the clone must reproduce every
+ * recovery.
+ */
+TEST(Fork, SurvivesRecoveryHeavyWorkload)
+{
+    WorkloadRecipe recipe = forkRecipe(36);
+    recipe.numPhaseChains = 6; // churn: phases invalidate history
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::Gshare, Budget::B2KB,
+                   CriticKind::FilteredPerceptron, Budget::B2KB, 12);
+    const EngineConfig cfg = smallEngine();
+    const auto [ref_events, ref_stats] =
+        engineStraight(recipe, spec, cfg);
+    for (const std::uint64_t fork_at : {63ull, 599ull}) {
+        SCOPED_TRACE("fork@" + std::to_string(fork_at));
+        const auto [events, stats] =
+            engineForked(recipe, spec, cfg, fork_at);
+        expectSameEvents(events, ref_events);
+        expectSameStats(stats, ref_stats);
+    }
+}
+
+// -------------------------------------------------- chain drivers
+
+/** runAccuracyChain == one runAccuracy per config, stats equal. */
+TEST(Fork, AccuracyChainMatchesIndividualRuns)
+{
+    const Workload &w = workloadByName("int.crafty");
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8);
+
+    std::vector<EngineConfig> configs;
+    for (const std::uint64_t wb : {500ull, 1500ull, 3000ull}) {
+        EngineConfig cfg;
+        cfg.warmupBranches = wb;
+        cfg.measureBranches = 2000;
+        configs.push_back(cfg);
+    }
+
+    ChainObs obs;
+    const std::vector<EngineStats> chained =
+        runAccuracyChain(w, spec, configs, &obs);
+    EXPECT_EQ(obs.snapshots, configs.size() - 1);
+    EXPECT_GT(obs.warmupBranchesSaved, 0u);
+
+    ASSERT_EQ(chained.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        expectSameStats(chained[i], runAccuracy(w, spec, configs[i]));
+    }
+}
+
+/** runTimingChain == one runTiming per config, stats equal. */
+TEST(Fork, TimingChainMatchesIndividualRuns)
+{
+    const Workload &w = workloadByName("mm.mpeg");
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::GSkew, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8);
+
+    std::vector<TimingConfig> configs;
+    for (const std::uint64_t wb : {800ull, 2400ull}) {
+        TimingConfig cfg;
+        cfg.warmupBranches = wb;
+        cfg.measureBranches = 4000;
+        ASSERT_TRUE(timingForkable(cfg));
+        configs.push_back(cfg);
+    }
+
+    ChainObs obs;
+    const std::vector<TimingStats> chained =
+        runTimingChain(w, spec, configs, &obs);
+    EXPECT_EQ(obs.snapshots, configs.size() - 1);
+
+    ASSERT_EQ(chained.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        expectSameStats(chained[i], runTiming(w, spec, configs[i]));
+    }
+}
+
+// ------------------------------------------------- runner parity
+
+/**
+ * The end-to-end contract the executor advertises: the persisted
+ * store of a shared-warmup grid is byte-identical with forking on or
+ * off, at any job count — accuracy and timing grids alike.
+ */
+TEST(Fork, SweepStoreBytesIdenticalForkVsReplay)
+{
+    for (const bool timing : {false, true}) {
+        SweepSpec spec;
+        spec.name = timing ? "fork-parity-t" : "fork-parity-a";
+        spec.timing = timing;
+        spec.axes.prophets = {ProphetKind::Gshare};
+        spec.axes.critics = {std::nullopt, CriticKind::TaggedGshare};
+        spec.workloads = {"mm.mpeg", "web.jbb"};
+        spec.branches = timing ? 4000 : 3000;
+        spec.warmups = {400, 900, 1400};
+
+        auto runWith = [&](bool fork, unsigned jobs) {
+            ResultStore store;
+            SweepRunOptions opt;
+            opt.fork = fork;
+            opt.jobs = jobs;
+            runSweep(spec, store, opt);
+            return ResultStore::exportJson(store.all());
+        };
+
+        SCOPED_TRACE(timing ? "timing" : "accuracy");
+        const std::string replay = runWith(false, 1);
+        EXPECT_EQ(runWith(true, 1), replay);
+        EXPECT_EQ(runWith(true, 4), replay);
+    }
+}
+
+} // namespace
+} // namespace pcbp

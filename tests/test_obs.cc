@@ -280,6 +280,53 @@ TEST(ObsSweep, CollectionKeepsStoreBytesIdentical)
     std::remove(p2.c_str());
 }
 
+TEST(ObsSweep, ForkCountersLandInHostSection)
+{
+    // A three-step warmup ladder over one config is one fork group:
+    // the canonical (largest-warmup) cell runs, the other two fork
+    // off it at their own warmup boundary (wb-1 for the accuracy
+    // engine), so every counter here is exact and deterministic.
+    SweepSpec spec;
+    spec.name = "obs-fork";
+    spec.axes.prophets = {ProphetKind::Gshare};
+    spec.axes.critics = {CriticKind::TaggedGshare};
+    spec.workloads = {"mm.mpeg"};
+    spec.branches = 2000;
+    spec.warmups = {400, 800, 1200};
+
+    auto hostJson = [&](bool fork) {
+        ResultStore store;
+        StatRegistry reg;
+        SweepRunOptions opt;
+        opt.jobs = 2;
+        opt.stats = &reg;
+        opt.fork = fork;
+        runSweep(spec, store, opt);
+        return reg.toJson();
+    };
+
+    const std::string on = hostJson(true);
+    EXPECT_NE(on.find("\"sweep.fork.groups\":1"), std::string::npos)
+        << on;
+    EXPECT_NE(on.find("\"sweep.fork.snapshots\":2"),
+              std::string::npos);
+    EXPECT_NE(on.find("\"sweep.fork.cells_forked\":2"),
+              std::string::npos);
+    EXPECT_NE(on.find("\"sweep.fork.warmup_branches_saved\":1198"),
+              std::string::npos);
+
+    // Forking off: the keys stay in the schema, pinned to zero.
+    const std::string off = hostJson(false);
+    EXPECT_NE(off.find("\"sweep.fork.groups\":0"), std::string::npos)
+        << off;
+    EXPECT_NE(off.find("\"sweep.fork.snapshots\":0"),
+              std::string::npos);
+    EXPECT_NE(off.find("\"sweep.fork.cells_forked\":0"),
+              std::string::npos);
+    EXPECT_NE(off.find("\"sweep.fork.warmup_branches_saved\":0"),
+              std::string::npos);
+}
+
 TEST(ObsSweep, CellStatsBlockRoundTripsAndStaysOptional)
 {
     ResultStore store;

@@ -22,12 +22,16 @@
  *       BENCH_*.json bytes or the timed windows.
  *
  *   pcbp_bench compare --baseline FILE CURRENT_FILE
- *                      [--threshold FRACTION] [--warn-only]
+ *                      [--threshold FRACTION] [--warn-only] [--strict]
  *       Join two artifacts by benchmark name, print the comparison
  *       table, and exit 1 when any benchmark's throughput dropped
  *       more than the threshold (default 0.10 = 10%) below the
  *       baseline — unless --warn-only (shared-runner CI), which
- *       always exits 0. See docs/PERFORMANCE.md for methodology.
+ *       always exits 0. Benchmarks present on only one side are
+ *       reported (table verdicts plus an stderr summary) but don't
+ *       gate by default; --strict also fails on such mismatched
+ *       benchmark sets, for CI jobs that pin the registry. See
+ *       docs/PERFORMANCE.md for methodology.
  */
 
 #include <cstdio>
@@ -59,7 +63,8 @@ usage(const char *argv0)
            " [--stats-out FILE]\n"
         << "          [--trace-out FILE]\n"
         << "  compare --baseline FILE CURRENT_FILE"
-           " [--threshold FRACTION] [--warn-only]\n";
+           " [--threshold FRACTION] [--warn-only]\n"
+           "          [--strict]\n";
     std::exit(2);
 }
 
@@ -77,6 +82,7 @@ struct Args
     unsigned repeats = 0;
     bool quick = false;
     bool warnOnly = false;
+    bool strict = false;
 };
 
 Args
@@ -112,6 +118,8 @@ parseArgs(int argc, char **argv)
             a.quick = true;
         else if (arg == "--warn-only")
             a.warnOnly = true;
+        else if (arg == "--strict")
+            a.strict = true;
         else if (!arg.empty() && arg[0] != '-' && a.current.empty())
             a.current = arg;
         else
@@ -201,13 +209,34 @@ cmdCompare(const Args &a)
         compareBenchRuns(base, cur, a.threshold);
     std::cout << benchComparisonTable(cmp, a.threshold).toMarkdown();
 
-    if (cmp.regressed && !a.warnOnly) {
-        std::fprintf(stderr, "regression beyond threshold\n");
-        return 1;
+    // Benchmarks on only one side never compare silently: name them
+    // on stderr, and under --strict treat the mismatch as a failure
+    // (a renamed or dropped benchmark would otherwise stop gating).
+    std::size_t mismatched = 0;
+    for (const BenchDelta &d : cmp.deltas) {
+        if (!d.missingBaseline && !d.missingCurrent)
+            continue;
+        ++mismatched;
+        std::fprintf(stderr, "benchmark sets differ: '%s' %s\n",
+                     d.name.c_str(),
+                     d.missingBaseline ? "has no baseline"
+                                       : "is missing from current");
     }
-    if (cmp.regressed)
-        std::fprintf(stderr, "regression beyond threshold (warn-only)\n");
-    return 0;
+
+    int rc = 0;
+    if (cmp.regressed) {
+        std::fprintf(stderr, "regression beyond threshold%s\n",
+                     a.warnOnly ? " (warn-only)" : "");
+        rc = 1;
+    }
+    if (a.strict && mismatched) {
+        std::fprintf(stderr,
+                     "strict: %zu benchmark(s) present on only one "
+                     "side%s\n",
+                     mismatched, a.warnOnly ? " (warn-only)" : "");
+        rc = 1;
+    }
+    return a.warnOnly ? 0 : rc;
 }
 
 } // namespace

@@ -10,6 +10,7 @@
  *                  [--quick] [--branches N] [--workloads LIST]
  *                  [--suite LIST] [--max-cells N] [--quiet]
  *                  [--progress] [--stats-out FILE] [--trace-out FILE]
+ *                  [--no-fork]
  *       Run the selected figures' sweep grids against per-figure
  *       stores under DIR/store/ and render DIR/REPRO.md plus
  *       per-figure CSV/JSON artifacts. Cells already in a store are
@@ -22,8 +23,9 @@
  *       complete). --progress swaps per-cell lines for a throttled
  *       stderr heartbeat; --stats-out dumps the run-wide stats
  *       registry (JSON + .md); --trace-out writes a Perfetto-
- *       loadable span trace. None of the three changes any store or
- *       report byte.
+ *       loadable span trace; --no-fork disables fork-based execution
+ *       of shared-warmup cells (DESIGN.md §11). None of the four
+ *       changes any store or report byte.
  *
  *   pcbp_repro render [--figures LIST|all] [--out DIR] [--quick]
  *                     [--branches N] [--workloads LIST] [--suite LIST]
@@ -57,7 +59,8 @@ usage(const char *argv0)
            " [--quick]\n"
         << "         [--branches N] [--workloads LIST] [--suite LIST]\n"
         << "         [--max-cells N] [--quiet] [--progress]\n"
-        << "         [--stats-out FILE] [--trace-out FILE]\n"
+        << "         [--stats-out FILE] [--trace-out FILE]"
+           " [--no-fork]\n"
         << "  render [--figures LIST|all] [--out DIR] [--quick]"
            " [--branches N]\n"
         << "         [--workloads LIST] [--suite LIST]\n";
@@ -112,6 +115,8 @@ parseArgs(int argc, char **argv)
             a.quiet = true;
         else if (arg == "--progress")
             a.opts.progress = true;
+        else if (arg == "--no-fork")
+            a.opts.fork = false;
         else if (arg == "--stats-out")
             a.statsOut = next();
         else if (arg == "--trace-out")

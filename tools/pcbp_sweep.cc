@@ -5,7 +5,7 @@
  *   pcbp_sweep run --spec FILE --store FILE [--jobs N]
  *                  [--max-cells N] [--quiet] [--progress]
  *                  [--stats-out FILE] [--trace-out FILE]
- *                  [--cell-stats]
+ *                  [--cell-stats] [--no-fork]
  *       Execute the grid. Cells already in the store are skipped, so
  *       an interrupted run resumes where it left off. Output is
  *       bit-identical for any --jobs value. `mode = timing` grids
@@ -15,7 +15,9 @@
  *       registry (JSON + .md); --trace-out writes a Perfetto-
  *       loadable span trace; --cell-stats embeds each cell's sim
  *       counters in its stored result (off by default — stores stay
- *       byte-identical to earlier versions).
+ *       byte-identical to earlier versions); --no-fork disables
+ *       fork-based execution of shared-warmup cells (DESIGN.md §11
+ *       — results are bit-identical either way, just slower).
  *
  *   pcbp_sweep status --spec FILE --store FILE [--watch SEC]
  *       Completed / remaining cell counts for the grid. --watch
@@ -58,7 +60,7 @@ usage(const char *argv0)
         << "  run    --spec FILE --store FILE [--jobs N]"
            " [--max-cells N] [--quiet]\n"
         << "         [--progress] [--stats-out FILE]"
-           " [--trace-out FILE] [--cell-stats]\n"
+           " [--trace-out FILE] [--cell-stats] [--no-fork]\n"
         << "  status --spec FILE --store FILE [--watch SEC]\n"
         << "  cells  --spec FILE\n"
         << "  export --store FILE [--format csv|json] [--out FILE]\n";
@@ -79,6 +81,7 @@ struct Args
     bool quiet = false;
     bool progress = false;
     bool cellStats = false;
+    bool fork = true;
 };
 
 Args
@@ -117,6 +120,8 @@ parseArgs(int argc, char **argv)
             a.progress = true;
         else if (arg == "--cell-stats")
             a.cellStats = true;
+        else if (arg == "--no-fork")
+            a.fork = false;
         else
             usage(argv[0]);
     }
@@ -137,6 +142,7 @@ cmdRun(const Args &a, const char *argv0)
     opt.jobs = a.jobs;
     opt.maxCells = a.maxCells;
     opt.cellStats = a.cellStats;
+    opt.fork = a.fork;
     if (!a.statsOut.empty())
         opt.stats = &reg;
     if (!a.traceOut.empty())
