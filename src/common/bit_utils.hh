@@ -57,6 +57,39 @@ foldBits(std::uint64_t v, unsigned bits)
     return folded;
 }
 
+/** Reverse the bit order of a 64-bit value (bit 0 <-> bit 63). */
+constexpr std::uint64_t
+bitReverse64(std::uint64_t v)
+{
+    v = ((v >> 1) & 0x5555555555555555ULL) |
+        ((v & 0x5555555555555555ULL) << 1);
+    v = ((v >> 2) & 0x3333333333333333ULL) |
+        ((v & 0x3333333333333333ULL) << 2);
+    v = ((v >> 4) & 0x0f0f0f0f0f0f0f0fULL) |
+        ((v & 0x0f0f0f0f0f0f0f0fULL) << 4);
+    return __builtin_bswap64(v);
+}
+
+/**
+ * foldBits for values known to populate most of the 64-bit range
+ * (e.g.\ mix64 output): identical result, but the chunk count is
+ * computed from the width instead of testing v against zero each
+ * iteration, so the loop has a fixed trip count the compiler can
+ * unroll and the fold runs branch-free on the hash hot path.
+ */
+constexpr std::uint64_t
+foldBitsFixed(std::uint64_t v, unsigned bits)
+{
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return v;
+    std::uint64_t folded = 0;
+    for (unsigned s = 0; s < 64; s += bits)
+        folded ^= v >> s;
+    return folded & maskBits(bits);
+}
+
 /**
  * Mix a 64-bit value (splitmix64 finalizer). Cheap, high-quality
  * avalanche used to decorrelate tag hashes from index hashes.

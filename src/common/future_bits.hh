@@ -56,6 +56,24 @@ class FutureBits
     unsigned size() const { return n; }
     bool empty() const { return n == 0; }
 
+    /** Raw bit mask (bit i = i-th oldest pushed bit; bits >= size()
+     *  are zero). Lets bulk consumers (buildCritiqueBor, the hit-bit
+     *  ring gather) move all bits in one word operation. */
+    std::uint64_t rawMask() const { return mask; }
+
+    /**
+     * Replace the contents with the low @p count bits of @p m at
+     * once — the bulk equivalent of count push() calls with bit i of
+     * @p m as the i-th (oldest-first) bit.
+     */
+    void
+    assign(std::uint64_t m, unsigned count)
+    {
+        pcbp_dassert(count <= capacity);
+        mask = count >= 64 ? m : (m & ((std::uint64_t(1) << count) - 1));
+        n = count;
+    }
+
     /** The i-th oldest bit (0 = oldest). */
     bool
     operator[](unsigned i) const

@@ -41,6 +41,35 @@ class HistoryRegister
         words[0] = (words[0] << 1) | static_cast<std::uint64_t>(taken);
     }
 
+    /**
+     * Shift in @p n bits at once (n <= 64), equivalent to n
+     * successive shiftIn() calls. Bit 0 of @p youngest_first is the
+     * youngest inserted bit — the one the LAST of those shiftIn()
+     * calls would have inserted. The bulk form exists for the
+     * critique path: reconstructing a BOR view appends a whole
+     * future-bit window per critique, and a two-word funnel shift is
+     * several times cheaper than the bit-at-a-time loop.
+     */
+    void
+    shiftInMany(std::uint64_t youngest_first, unsigned n)
+    {
+        pcbp_dassert(n <= 64);
+        if (n == 0)
+            return;
+        if (n == 64) {
+            words[1] = words[0];
+            words[0] = youngest_first;
+            return;
+        }
+        words[1] = (words[1] << n) | (words[0] >> (64 - n));
+        words[0] = (words[0] << n) | (youngest_first & maskBits(n));
+    }
+
+    /** Raw storage words (bit i of word w = bit 64w + i): the SIMD
+     *  perceptron kernels consume history as two lane masks. */
+    std::uint64_t word0() const { return words[0]; }
+    std::uint64_t word1() const { return words[1]; }
+
     /** Remove the youngest bit (used by repair paths in tests). */
     void
     shiftOut()

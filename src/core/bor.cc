@@ -1,5 +1,7 @@
 #include "core/bor.hh"
 
+#include "common/bit_utils.hh"
+
 namespace pcbp
 {
 
@@ -8,8 +10,16 @@ buildCritiqueBor(const HistoryRegister &bor_before,
                  const FutureBits &future_bits)
 {
     HistoryRegister bor = bor_before;
-    for (unsigned i = 0; i < future_bits.size(); ++i)
-        bor.shiftIn(future_bits[i]);
+    const unsigned n = future_bits.size();
+    if (n == 0)
+        return bor;
+    // future_bits is oldest-first (bit 0 = first bit shifted in);
+    // shiftInMany wants youngest-first, so reverse the window. One
+    // two-word funnel shift replaces the n-iteration shiftIn loop on
+    // the per-critique hot path.
+    const std::uint64_t youngest_first =
+        bitReverse64(future_bits.rawMask()) >> (64 - n);
+    bor.shiftInMany(youngest_first, n);
     return bor;
 }
 

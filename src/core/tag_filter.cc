@@ -1,5 +1,7 @@
 #include "core/tag_filter.hh"
 
+#include <algorithm>
+
 #include "common/bit_utils.hh"
 #include "common/logging.hh"
 
@@ -8,7 +10,9 @@ namespace pcbp
 
 TagFilter::TagFilter(std::size_t num_sets, unsigned num_ways,
                      unsigned tag_bits, unsigned bor_bits)
-    : table(num_sets * num_ways),
+    : tags(num_sets * num_ways, 0),
+      valids(num_sets * num_ways, 0),
+      lastUse(num_sets * num_ways, 0),
       numSets(num_sets),
       numWays(num_ways),
       numTagBits(tag_bits),
@@ -31,9 +35,12 @@ TagFilter::hashesOf(Addr pc, const HistoryRegister &bor) const
         maskBits(indexBits);
     // Second, decorrelated hash: mix the combination so that two
     // (pc, BOR) pairs landing in the same set rarely share a tag.
+    // mix64 output populates all 64 bits, so the fixed-trip fold
+    // (identical result) beats the test-against-zero loop here.
     const std::uint64_t h = mix64((pc >> 2) * 0x9e3779b97f4a7c15ULL ^
                                   (b << 1));
-    return {set, static_cast<std::uint16_t>(foldBits(h, numTagBits))};
+    return {set,
+            static_cast<std::uint16_t>(foldBitsFixed(h, numTagBits))};
 }
 
 std::size_t
@@ -52,10 +59,12 @@ TagFilter::Result
 TagFilter::probe(Addr pc, const HistoryRegister &bor) const
 {
     const Hashes h = hashesOf(pc, bor);
-    const Entry *set = &table[h.set * numWays];
+    const std::size_t base = h.set * numWays;
+    const std::uint16_t *t = &tags[base];
+    const std::uint8_t *v = &valids[base];
     for (unsigned w = 0; w < numWays; ++w) {
-        if (set[w].valid && set[w].tag == h.tag)
-            return {true, h.set * numWays + w};
+        if (v[w] && t[w] == h.tag)
+            return {true, base + w};
     }
     return {false, 0};
 }
@@ -63,30 +72,29 @@ TagFilter::probe(Addr pc, const HistoryRegister &bor) const
 void
 TagFilter::touch(std::size_t entry)
 {
-    pcbp_dassert(entry < table.size());
-    table[entry].lastUse = ++tick;
+    pcbp_dassert(entry < lastUse.size());
+    lastUse[entry] = ++tick;
 }
 
 std::size_t
 TagFilter::allocate(Addr pc, const HistoryRegister &bor)
 {
     const Hashes h = hashesOf(pc, bor);
-    const std::size_t set = h.set;
-    const std::uint16_t tag = h.tag;
+    const std::size_t base = h.set * numWays;
 
-    std::size_t victim = set * numWays;
+    std::size_t victim = base;
     for (unsigned w = 0; w < numWays; ++w) {
-        const std::size_t e = set * numWays + w;
-        if (!table[e].valid) {
+        const std::size_t e = base + w;
+        if (!valids[e]) {
             victim = e;
             break;
         }
-        if (table[e].lastUse < table[victim].lastUse)
+        if (lastUse[e] < lastUse[victim])
             victim = e;
     }
-    table[victim].valid = true;
-    table[victim].tag = tag;
-    table[victim].lastUse = ++tick;
+    valids[victim] = 1;
+    tags[victim] = h.tag;
+    lastUse[victim] = ++tick;
     return victim;
 }
 
@@ -96,14 +104,15 @@ TagFilter::sizeBits() const
     unsigned lru_bits = 0;
     while ((1u << lru_bits) < numWays)
         ++lru_bits;
-    return table.size() * (1 + numTagBits + lru_bits);
+    return tags.size() * (1 + numTagBits + lru_bits);
 }
 
 void
 TagFilter::reset()
 {
-    for (auto &e : table)
-        e = Entry{};
+    std::fill(tags.begin(), tags.end(), 0);
+    std::fill(valids.begin(), valids.end(), 0);
+    std::fill(lastUse.begin(), lastUse.end(), 0);
     tick = 0;
 }
 

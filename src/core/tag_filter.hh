@@ -52,7 +52,7 @@ class TagFilter
     std::size_t allocate(Addr pc, const HistoryRegister &bor);
 
     /** Total entries (sets * ways). */
-    std::size_t entries() const { return table.size(); }
+    std::size_t entries() const { return tags.size(); }
 
     unsigned ways() const { return numWays; }
     unsigned tagBits() const { return numTagBits; }
@@ -67,13 +67,6 @@ class TagFilter
     void reset();
 
   private:
-    struct Entry
-    {
-        bool valid = false;
-        std::uint16_t tag = 0;
-        std::uint64_t lastUse = 0;
-    };
-
     /**
      * Both hashes of one (pc, BOR) access, computed in a single pass
      * so the BOR slice is extracted once: probe and train each need
@@ -90,7 +83,15 @@ class TagFilter
     std::size_t indexOf(Addr pc, const HistoryRegister &bor) const;
     std::uint16_t tagOf(Addr pc, const HistoryRegister &bor) const;
 
-    std::vector<Entry> table;
+    /**
+     * Structure-of-arrays entry storage (DESIGN.md §12): the probe
+     * loop compares ways against tags/valids only, so a w-way set
+     * costs 3w contiguous bytes instead of w 16-byte structs; the
+     * lastUse timestamps are touched only by LRU maintenance.
+     */
+    std::vector<std::uint16_t> tags;
+    std::vector<std::uint8_t> valids;
+    std::vector<std::uint64_t> lastUse;
     std::size_t numSets;
     unsigned numWays;
     unsigned numTagBits;

@@ -6,7 +6,7 @@ namespace pcbp
 TaggedGshare::TaggedGshare(std::size_t num_sets, unsigned num_ways,
                            unsigned tag_bits, unsigned bor_bits)
     : filter(num_sets, num_ways, tag_bits, bor_bits),
-      counters(filter.entries(), SatCounter(2, 1))
+      counters(filter.entries(), 2, 1)
 {
 }
 
@@ -16,7 +16,7 @@ TaggedGshare::critique(Addr pc, const HistoryRegister &bor)
     const auto r = filter.probe(pc, bor);
     if (!r.hit)
         return {false, false};
-    return {true, counters[r.entry].taken()};
+    return {true, counters.taken(r.entry)};
 }
 
 void
@@ -25,14 +25,14 @@ TaggedGshare::train(Addr pc, const HistoryRegister &bor, bool taken,
 {
     const auto r = filter.probe(pc, bor);
     if (r.hit) {
-        counters[r.entry].update(taken);
+        counters.update(r.entry, taken);
         filter.touch(r.entry);
     } else if (mispredicted) {
         // Insert the (branch address, BOR value) context so the next
         // time it recurs the critic's prediction is used, and
         // initialize the counter toward the resolved outcome (§4).
         const std::size_t e = filter.allocate(pc, bor);
-        counters[e].setWeak(taken);
+        counters.setWeak(e, taken);
     }
 }
 
@@ -40,8 +40,7 @@ void
 TaggedGshare::reset()
 {
     filter.reset();
-    for (auto &c : counters)
-        c.set(1);
+    counters.fill(1);
 }
 
 std::size_t

@@ -46,7 +46,7 @@ class TaggedGshare final : public FilteredPredictor
 
   private:
     TagFilter filter;
-    std::vector<SatCounter> counters;
+    SatCounterTable counters;
 };
 
 } // namespace pcbp

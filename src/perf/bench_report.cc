@@ -301,4 +301,40 @@ benchComparisonTable(const BenchComparison &cmp, double threshold)
     return t;
 }
 
+std::string
+benchComparisonToJson(const BenchComparison &cmp, double threshold)
+{
+    std::size_t mismatched = 0;
+    for (const BenchDelta &d : cmp.deltas)
+        mismatched += (d.missingBaseline || d.missingCurrent) ? 1 : 0;
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"schema\": \"pcbp-bench-compare-1\",\n"
+       << "  \"threshold\": " << fmtDouble(threshold, 4) << ",\n"
+       << "  \"incomparable\": "
+       << (cmp.incomparable ? "true" : "false") << ",\n"
+       << "  \"regressed\": " << (cmp.regressed ? "true" : "false")
+       << ",\n"
+       << "  \"mismatched\": " << mismatched << ",\n"
+       << "  \"deltas\": [\n";
+    for (std::size_t i = 0; i < cmp.deltas.size(); ++i) {
+        const BenchDelta &d = cmp.deltas[i];
+        os << "    {\"name\": \"" << jsonEscape(d.name) << "\""
+           << ", \"baseline\": " << fmtDouble(d.baseline, 3)
+           << ", \"current\": " << fmtDouble(d.current, 3)
+           << ", \"delta\": " << fmtDouble(d.delta, 6)
+           << ", \"missing_baseline\": "
+           << (d.missingBaseline ? "true" : "false")
+           << ", \"missing_current\": "
+           << (d.missingCurrent ? "true" : "false")
+           << ", \"regression\": "
+           << (d.regression ? "true" : "false") << "}"
+           << (i + 1 < cmp.deltas.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
 } // namespace pcbp

@@ -116,6 +116,21 @@ BenchComparison compareBenchRuns(const BenchRun &baseline,
 ReportTable benchComparisonTable(const BenchComparison &cmp,
                                  double threshold);
 
+/**
+ * Serialize a comparison as a machine-readable summary (schema
+ * "pcbp-bench-compare-1"). Every delta appears — including
+ * benchmarks present on only one side, carrying their
+ * `missing_baseline` / `missing_current` flags — so a CI artifact of
+ * the comparison is self-describing: the stderr "benchmark sets
+ * differ" lines have an in-band counterpart (`mismatched` plus the
+ * flagged rows), and the gate verdicts (`regressed`, per-row
+ * `regression`) are recorded next to the threshold that produced
+ * them. Same determinism rules as the run schema: fixed key set,
+ * fixed order, fixed-precision numbers.
+ */
+std::string benchComparisonToJson(const BenchComparison &cmp,
+                                  double threshold);
+
 } // namespace pcbp
 
 #endif // PCBP_PERF_BENCH_REPORT_HH

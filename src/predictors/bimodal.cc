@@ -7,7 +7,7 @@ namespace pcbp
 {
 
 Bimodal::Bimodal(std::size_t num_entries, unsigned counter_bits)
-    : table(num_entries, SatCounter(counter_bits, 0)),
+    : table(num_entries, counter_bits, 0),
       ctrBits(counter_bits),
       indexBits(log2Floor(num_entries))
 {
@@ -24,20 +24,19 @@ Bimodal::index(Addr pc) const
 bool
 Bimodal::predict(Addr pc, const HistoryRegister &)
 {
-    return table[index(pc)].taken();
+    return table.taken(index(pc));
 }
 
 void
 Bimodal::update(Addr pc, const HistoryRegister &, bool taken)
 {
-    table[index(pc)].update(taken);
+    table.update(index(pc), taken);
 }
 
 void
 Bimodal::reset()
 {
-    for (auto &c : table)
-        c.set(0);
+    table.fill(0);
 }
 
 std::size_t
@@ -50,12 +49,6 @@ std::string
 Bimodal::name() const
 {
     return "bimodal-" + std::to_string(table.size());
-}
-
-SatCounter &
-Bimodal::counterFor(Addr pc)
-{
-    return table[index(pc)];
 }
 
 } // namespace pcbp

@@ -37,13 +37,10 @@ class Bimodal final : public DirectionPredictor
     unsigned historyLength() const override { return 0; }
     std::string name() const override;
 
-    /** Direct access for composite predictors (gskew BIM bank). */
-    SatCounter &counterFor(Addr pc);
-
   private:
     std::size_t index(Addr pc) const;
 
-    std::vector<SatCounter> table;
+    SatCounterTable table;
     unsigned ctrBits;
     unsigned indexBits;
 };

@@ -7,7 +7,7 @@ namespace pcbp
 {
 
 Gshare::Gshare(std::size_t num_entries, unsigned history_bits)
-    : table(num_entries, SatCounter(2, 1)),
+    : table(num_entries, 2, 1),
       histBits(history_bits),
       indexBits(log2Floor(num_entries))
 {
@@ -25,20 +25,19 @@ Gshare::index(Addr pc, const HistoryRegister &hist) const
 bool
 Gshare::predict(Addr pc, const HistoryRegister &hist)
 {
-    return table[index(pc, hist)].taken();
+    return table.taken(index(pc, hist));
 }
 
 void
 Gshare::update(Addr pc, const HistoryRegister &hist, bool taken)
 {
-    table[index(pc, hist)].update(taken);
+    table.update(index(pc, hist), taken);
 }
 
 void
 Gshare::reset()
 {
-    for (auto &c : table)
-        c.set(1);
+    table.fill(1);
 }
 
 std::size_t

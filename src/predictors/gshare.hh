@@ -41,7 +41,7 @@ class Gshare final : public DirectionPredictor
   private:
     std::size_t index(Addr pc, const HistoryRegister &hist) const;
 
-    std::vector<SatCounter> table;
+    SatCounterTable table;
     unsigned histBits;
     unsigned indexBits;
 };

@@ -8,11 +8,29 @@
 namespace pcbp
 {
 
+namespace
+{
+
+/** Row stride in weights: history weights padded to a 64-byte
+ *  multiple so the SIMD kernels never need a masked tail. */
+std::size_t
+strideFor(unsigned history_bits)
+{
+    return (static_cast<std::size_t>(history_bits) + 63) / 64 * 64;
+}
+
+} // namespace
+
 Perceptron::Perceptron(std::size_t num_perceptrons, unsigned history_bits)
-    : weights(num_perceptrons * (history_bits + 1), 0),
+    : weights(num_perceptrons * strideFor(history_bits), 0),
+      biases(num_perceptrons, 0),
       numPerceptrons(num_perceptrons),
       histBits(history_bits),
-      theta(static_cast<int>(1.93 * history_bits + 14))
+      rowStride(strideFor(history_bits)),
+      theta(static_cast<int>(1.93 * history_bits + 14)),
+      modMul(UINT64_MAX / num_perceptrons + 1),
+      dot(simd::dotKernel()),
+      train(simd::trainKernel())
 {
     pcbp_assert(num_perceptrons > 0);
     pcbp_assert(history_bits >= 1 &&
@@ -22,28 +40,23 @@ Perceptron::Perceptron(std::size_t num_perceptrons, unsigned history_bits)
 std::size_t
 Perceptron::select(Addr pc) const
 {
-    return (pc >> 2) % numPerceptrons;
+    const std::uint64_t x = pc >> 2;
+    // Lemire fast-mod is exact for 32-bit dividends; branch
+    // predictors index with low PC bits so the fallback never fires
+    // in practice, but keep the semantics identical regardless.
+    if (x >> 32)
+        return x % numPerceptrons;
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(modMul * x) * numPerceptrons) >>
+        64);
 }
 
 int
 Perceptron::output(Addr pc, const HistoryRegister &hist) const
 {
-    const std::int8_t *w = &weights[select(pc) * (histBits + 1)];
-    int sum = w[0]; // bias weight, input fixed at +1
-    // Hoist the history bits into registers once instead of
-    // extracting them from the register object one call at a time —
-    // this dot product dominates the perceptron rows of the engine
-    // benchmarks. Same arithmetic, so outputs are bit-identical.
-    unsigned i = 0;
-    for (unsigned first = 0; first < histBits; first += 64) {
-        const unsigned n = std::min(histBits - first, 64u);
-        const std::uint64_t bits = hist.window(first, n);
-        for (unsigned j = 0; j < n; ++j, ++i) {
-            const int wv = w[i + 1];
-            sum += ((bits >> j) & 1) ? wv : -wv;
-        }
-    }
-    return sum;
+    const std::size_t row = select(pc);
+    return biases[row] + dot(&weights[row * rowStride], histBits,
+                             hist.word0(), hist.word1());
 }
 
 bool
@@ -55,29 +68,56 @@ Perceptron::predict(Addr pc, const HistoryRegister &hist)
 void
 Perceptron::update(Addr pc, const HistoryRegister &hist, bool taken)
 {
-    const int out = output(pc, hist);
+    const std::size_t row = select(pc);
+    std::int8_t *w = &weights[row * rowStride];
+    const int out =
+        biases[row] + dot(w, histBits, hist.word0(), hist.word1());
     const bool pred = out >= 0;
     // Train on mispredict or low confidence (|out| <= theta).
     if (pred == taken && std::abs(out) > theta)
         return;
 
-    std::int8_t *w = &weights[select(pc) * (histBits + 1)];
-    auto bump = [](std::int8_t &weight, bool up) {
-        if (up) {
-            if (weight < 127)
-                ++weight;
-        } else {
-            if (weight > -127)
-                --weight;
+    std::int8_t &bias = biases[row];
+    if (taken) {
+        if (bias < 127)
+            ++bias;
+    } else {
+        if (bias > -127)
+            --bias;
+    }
+    train(w, histBits, hist.word0(), hist.word1(), taken);
+}
+
+void
+Perceptron::predictBatch(const PredictQuery *queries, std::size_t n,
+                         bool *out)
+{
+    // Same arithmetic as n predict() calls; the win is issuing the
+    // row prefetch a few queries ahead so the dot products don't
+    // serialize on table misses.
+    constexpr std::size_t kAhead = 4;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i + kAhead < n) {
+            const std::size_t r = select(queries[i + kAhead].pc);
+            __builtin_prefetch(&weights[r * rowStride]);
         }
-    };
-    bump(w[0], taken);
-    unsigned i = 0;
-    for (unsigned first = 0; first < histBits; first += 64) {
-        const unsigned n = std::min(histBits - first, 64u);
-        const std::uint64_t bits = hist.window(first, n);
-        for (unsigned j = 0; j < n; ++j, ++i)
-            bump(w[i + 1], bool((bits >> j) & 1) == taken);
+        out[i] = predict(queries[i].pc, queries[i].hist);
+    }
+}
+
+void
+Perceptron::trainBatch(const TrainItem *items, std::size_t n)
+{
+    // Training is order-sensitive (item i sees the weights left by
+    // 0..i-1), so this stays a sequential loop; prefetching the
+    // upcoming rows is safe because it has no architectural effect.
+    constexpr std::size_t kAhead = 4;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i + kAhead < n) {
+            const std::size_t r = select(items[i + kAhead].pc);
+            __builtin_prefetch(&weights[r * rowStride], 1);
+        }
+        update(items[i].pc, items[i].hist, items[i].taken);
     }
 }
 
@@ -85,12 +125,16 @@ void
 Perceptron::reset()
 {
     std::fill(weights.begin(), weights.end(), 0);
+    std::fill(biases.begin(), biases.end(), 0);
 }
 
 std::size_t
 Perceptron::sizeBits() const
 {
-    return weights.size() * 8;
+    // Logical cost: (history + bias) int8 weights per perceptron.
+    // The 64-byte row padding is an implementation artifact and is
+    // not charged.
+    return numPerceptrons * (histBits + 1) * 8;
 }
 
 std::string

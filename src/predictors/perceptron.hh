@@ -7,6 +7,14 @@
  * component — is that it scales to much longer histories than
  * counter-table schemes, so future bits can be added to its input
  * without sacrificing as much history.
+ *
+ * Storage is structure-of-arrays (DESIGN.md §12): the bias weights
+ * live in their own array and each perceptron's history weights
+ * occupy a row padded to a 64-byte multiple, so the SIMD dot-product
+ * and train kernels (predictors/simd.hh) run full-width vector
+ * operations with no tails — pad lanes hold weight 0 and contribute
+ * nothing. The reported sizeBits() stays the logical cost
+ * (perceptrons x (history + bias) x 8), not the padded footprint.
  */
 
 #ifndef PCBP_PREDICTORS_PERCEPTRON_HH
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "predictors/predictor.hh"
+#include "predictors/simd.hh"
 
 namespace pcbp
 {
@@ -33,6 +42,9 @@ class Perceptron final : public DirectionPredictor
 
     bool predict(Addr pc, const HistoryRegister &hist) override;
     void update(Addr pc, const HistoryRegister &hist, bool taken) override;
+    void predictBatch(const PredictQuery *queries, std::size_t n,
+                      bool *out) override;
+    void trainBatch(const TrainItem *items, std::size_t n) override;
     void reset() override;
 
     DirectionPredictorPtr clone() const override
@@ -56,11 +68,22 @@ class Perceptron final : public DirectionPredictor
   private:
     std::size_t select(Addr pc) const;
 
-    /** Weights, laid out per perceptron: [bias, w1 .. wh]. */
+    /**
+     * History weights [w1 .. wh], one padded row per perceptron
+     * (rowStride bytes; pad weights are always 0).
+     */
     std::vector<std::int8_t> weights;
+    /** Bias weights, one per perceptron (input fixed at +1). */
+    std::vector<std::int8_t> biases;
     std::size_t numPerceptrons;
     unsigned histBits;
+    std::size_t rowStride;
     int theta;
+    /** Lemire fast-mod constant for select() (exact for 32-bit pc). */
+    std::uint64_t modMul;
+    /** SIMD kernels, resolved once at construction. */
+    simd::DotFn dot;
+    simd::TrainFn train;
 };
 
 } // namespace pcbp

@@ -1,0 +1,303 @@
+#include "predictors/simd.hh"
+
+#include <immintrin.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pcbp
+{
+namespace simd
+{
+
+namespace
+{
+
+/** Bits [64b, 64b+64) of the (lo, hi) pair, for block b in {0, 1}. */
+inline std::uint64_t
+blockBits(std::uint64_t lo, std::uint64_t hi, unsigned b)
+{
+    return b == 0 ? lo : hi;
+}
+
+} // namespace
+
+int
+dotBipolarScalar(const std::int8_t *w, unsigned n, std::uint64_t bits_lo,
+                 std::uint64_t bits_hi)
+{
+    int sum = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const bool bit =
+            ((i < 64 ? bits_lo >> i : bits_hi >> (i - 64)) & 1) != 0;
+        const int wv = w[i];
+        sum += bit ? wv : -wv;
+    }
+    return sum;
+}
+
+void
+trainBipolarScalar(std::int8_t *w, unsigned n, std::uint64_t bits_lo,
+                   std::uint64_t bits_hi, bool taken)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const bool bit =
+            ((i < 64 ? bits_lo >> i : bits_hi >> (i - 64)) & 1) != 0;
+        std::int8_t &weight = w[i];
+        if (bit == taken) {
+            if (weight < 127)
+                ++weight;
+        } else {
+            if (weight > -127)
+                --weight;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 path. 32 int8 lanes per step; the history bits are expanded to
+// byte masks with the classic shuffle+testbit idiom. All sums are
+// widened to int16 then int32 before accumulation, so the arithmetic
+// is exact (integers, order-independent) — bit-identical to scalar.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+__attribute__((target("avx2"))) inline __m256i
+expandBits32(std::uint32_t bits)
+{
+    // Byte i of the result is 0xFF iff bit i of `bits` is set.
+    const __m256i v = _mm256_set1_epi32(static_cast<int>(bits));
+    const __m256i shuf = _mm256_setr_epi8(
+        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2,
+        2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3);
+    const __m256i rep = _mm256_shuffle_epi8(v, shuf);
+    const __m256i sel = _mm256_setr_epi8(
+        1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128, 1,
+        2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128);
+    return _mm256_cmpeq_epi8(_mm256_and_si256(rep, sel), sel);
+}
+
+__attribute__((target("avx2"))) int
+dotBipolarAvx2(const std::int8_t *w, unsigned n, std::uint64_t bits_lo,
+               std::uint64_t bits_hi)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    const unsigned blocks = (n + 63) / 64;
+    for (unsigned b = 0; b < blocks; ++b) {
+        const std::uint64_t bits = blockBits(bits_lo, bits_hi, b);
+        for (unsigned half = 0; half < 2; ++half) {
+            const __m256i wv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(w + b * 64 +
+                                                  half * 32));
+            const __m256i m = expandBits32(
+                static_cast<std::uint32_t>(bits >> (half * 32)));
+            // bit set -> +w, clear -> -w. Pad lanes hold weight 0, so
+            // they contribute nothing either way.
+            const __m256i sel = _mm256_blendv_epi8(
+                _mm256_sub_epi8(zero, wv), wv, m);
+            const __m256i lo16 =
+                _mm256_cvtepi8_epi16(_mm256_castsi256_si128(sel));
+            const __m256i hi16 = _mm256_cvtepi8_epi16(
+                _mm256_extracti128_si256(sel, 1));
+            const __m256i s16 = _mm256_add_epi16(lo16, hi16);
+            acc = _mm256_add_epi32(
+                acc, _mm256_madd_epi16(s16, _mm256_set1_epi16(1)));
+        }
+    }
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    __m128i s = _mm_add_epi32(lo, hi);
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+    return _mm_cvtsi128_si32(s);
+}
+
+__attribute__((target("avx2"))) void
+trainBipolarAvx2(std::int8_t *w, unsigned n, std::uint64_t bits_lo,
+                 std::uint64_t bits_hi, bool taken)
+{
+    const __m256i plus1 = _mm256_set1_epi8(1);
+    const __m256i minus1 = _mm256_set1_epi8(-1);
+    const __m256i floor_ = _mm256_set1_epi8(-127);
+    const unsigned blocks = (n + 63) / 64;
+    for (unsigned b = 0; b < blocks; ++b) {
+        const std::uint64_t bits = blockBits(bits_lo, bits_hi, b);
+        const unsigned base = b * 64;
+        const std::uint64_t valid =
+            n - base >= 64
+                ? ~std::uint64_t(0)
+                : ((std::uint64_t(1) << (n - base)) - 1);
+        for (unsigned half = 0; half < 2; ++half) {
+            __m256i wv = _mm256_loadu_si256(
+                reinterpret_cast<__m256i *>(w + base + half * 32));
+            const __m256i m = expandBits32(
+                static_cast<std::uint32_t>(bits >> (half * 32)));
+            // agree lanes (bit == taken) move +1, the rest -1.
+            const __m256i agree =
+                taken ? m
+                      : _mm256_xor_si256(m, _mm256_set1_epi8(-1));
+            __m256i delta = _mm256_blendv_epi8(minus1, plus1, agree);
+            // Zero the delta on pad lanes so a full-width store
+            // leaves the padding untouched (weights there stay 0).
+            const __m256i vm = expandBits32(
+                static_cast<std::uint32_t>(valid >> (half * 32)));
+            delta = _mm256_and_si256(delta, vm);
+            // Saturating add clamps 127+1 at 127; the max() pulls the
+            // -128 saturation back up to the scalar clamp of -127.
+            wv = _mm256_max_epi8(_mm256_adds_epi8(wv, delta), floor_);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(w + base + half * 32), wv);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX-512BW path: 64 int8 lanes per step, the 64 history bits ARE the
+// lane mask, no byte expansion needed.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx512f,avx512bw"))) int
+dotBipolarAvx512(const std::int8_t *w, unsigned n, std::uint64_t bits_lo,
+                 std::uint64_t bits_hi)
+{
+    const __m512i zero = _mm512_setzero_si512();
+    __m512i acc = zero;
+    const unsigned blocks = (n + 63) / 64;
+    for (unsigned b = 0; b < blocks; ++b) {
+        const __mmask64 m =
+            static_cast<__mmask64>(blockBits(bits_lo, bits_hi, b));
+        const __m512i wv = _mm512_loadu_si512(w + b * 64);
+        const __m512i sel =
+            _mm512_mask_blend_epi8(m, _mm512_sub_epi8(zero, wv), wv);
+        const __m512i lo16 =
+            _mm512_cvtepi8_epi16(_mm512_castsi512_si256(sel));
+        const __m512i hi16 =
+            _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(sel, 1));
+        const __m512i s16 = _mm512_add_epi16(lo16, hi16);
+        acc = _mm512_add_epi32(
+            acc, _mm512_madd_epi16(s16, _mm512_set1_epi16(1)));
+    }
+    return _mm512_reduce_add_epi32(acc);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+trainBipolarAvx512(std::int8_t *w, unsigned n, std::uint64_t bits_lo,
+                   std::uint64_t bits_hi, bool taken)
+{
+    const __m512i plus1 = _mm512_set1_epi8(1);
+    const __m512i minus1 = _mm512_set1_epi8(-1);
+    const __m512i floor_ = _mm512_set1_epi8(-127);
+    const unsigned blocks = (n + 63) / 64;
+    for (unsigned b = 0; b < blocks; ++b) {
+        const std::uint64_t bits = blockBits(bits_lo, bits_hi, b);
+        const unsigned base = b * 64;
+        const std::uint64_t valid =
+            n - base >= 64
+                ? ~std::uint64_t(0)
+                : ((std::uint64_t(1) << (n - base)) - 1);
+        // agree lanes (bit == taken) move +1, the rest -1; pad lanes
+        // get delta 0 via the zero-masked move so the full-width
+        // store leaves the padding weights at 0.
+        const __mmask64 agree = static_cast<__mmask64>(
+            taken ? bits : ~bits);
+        __m512i delta = _mm512_mask_blend_epi8(agree, minus1, plus1);
+        delta = _mm512_maskz_mov_epi8(static_cast<__mmask64>(valid),
+                                      delta);
+        __m512i wv = _mm512_loadu_si512(w + base);
+        wv = _mm512_max_epi8(_mm512_adds_epi8(wv, delta), floor_);
+        _mm512_storeu_si512(w + base, wv);
+    }
+}
+
+enum class Level
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+Level
+resolveLevel()
+{
+    Level cpu = Level::Scalar;
+    if (__builtin_cpu_supports("avx2"))
+        cpu = Level::Avx2;
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw")) {
+        cpu = Level::Avx512;
+    }
+    // PCBP_SIMD caps (never raises) the level: forcing a path the CPU
+    // lacks would fault.
+    if (const char *env = std::getenv("PCBP_SIMD")) {
+        Level cap = cpu;
+        if (std::strcmp(env, "scalar") == 0)
+            cap = Level::Scalar;
+        else if (std::strcmp(env, "avx2") == 0)
+            cap = Level::Avx2;
+        else if (std::strcmp(env, "avx512") == 0)
+            cap = Level::Avx512;
+        if (static_cast<int>(cap) < static_cast<int>(cpu))
+            cpu = cap;
+    }
+    return cpu;
+}
+
+Level
+activeLevel()
+{
+    static const Level level = resolveLevel();
+    return level;
+}
+
+} // namespace
+
+DotFn
+dotKernel()
+{
+    static const DotFn fn = [] {
+        switch (activeLevel()) {
+          case Level::Avx512:
+            return &dotBipolarAvx512;
+          case Level::Avx2:
+            return &dotBipolarAvx2;
+          default:
+            return &dotBipolarScalar;
+        }
+    }();
+    return fn;
+}
+
+TrainFn
+trainKernel()
+{
+    static const TrainFn fn = [] {
+        switch (activeLevel()) {
+          case Level::Avx512:
+            return &trainBipolarAvx512;
+          case Level::Avx2:
+            return &trainBipolarAvx2;
+          default:
+            return &trainBipolarScalar;
+        }
+    }();
+    return fn;
+}
+
+const char *
+levelName()
+{
+    switch (activeLevel()) {
+      case Level::Avx512:
+        return "avx512";
+      case Level::Avx2:
+        return "avx2";
+      default:
+        return "scalar";
+    }
+}
+
+} // namespace simd
+} // namespace pcbp

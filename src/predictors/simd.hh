@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the bipolar dot products and
+ * weight updates at the heart of the perceptron family.
+ *
+ * The repository builds without -march flags so one binary runs on
+ * any x86-64 host; the vector paths are compiled per-function with
+ * target attributes and selected once at startup from CPUID (an
+ * AVX-512BW path, an AVX2 path, and the scalar reference). All three
+ * paths perform the same integer arithmetic — int8 weights widened
+ * to int16/int32 before any addition — so their results are
+ * bit-identical to the scalar reference on every input; the
+ * differential and property tests pin exactly that (DESIGN.md §12).
+ *
+ * Kernel semantics (n <= 128; `bits` bit i = direction of the i-th
+ * input, 1 = taken):
+ *
+ *   dotBipolar:   sum over i < n of (bits[i] ? w[i] : -w[i])
+ *   trainBipolar: w[i] += (bits[i] == taken) ? +1 : -1, saturated to
+ *                 the symmetric range [-127, 127] (the classic
+ *                 perceptron clamp; never reaches -128)
+ *
+ * The weight span may be read up to a 64-byte granularity: callers
+ * pad each weight row to a multiple of 64 bytes (the SoA layout of
+ * Perceptron), which keeps every vector access in-bounds without
+ * per-call masked tails.
+ *
+ * `PCBP_SIMD` (env: "scalar", "avx2", "avx512") caps the dispatch
+ * level below what CPUID reports — the equivalence tests use it to
+ * exercise every path on one machine. It is read once, at first use.
+ */
+
+#ifndef PCBP_PREDICTORS_SIMD_HH
+#define PCBP_PREDICTORS_SIMD_HH
+
+#include <cstdint>
+
+namespace pcbp
+{
+namespace simd
+{
+
+/** Signature of the bipolar dot-product kernel. */
+using DotFn = int (*)(const std::int8_t *w, unsigned n,
+                      std::uint64_t bits_lo, std::uint64_t bits_hi);
+
+/** Signature of the bipolar train kernel. */
+using TrainFn = void (*)(std::int8_t *w, unsigned n,
+                         std::uint64_t bits_lo, std::uint64_t bits_hi,
+                         bool taken);
+
+/** Scalar reference implementations (always available; the property
+ *  tests compare the dispatched kernels against these). */
+int dotBipolarScalar(const std::int8_t *w, unsigned n,
+                     std::uint64_t bits_lo, std::uint64_t bits_hi);
+void trainBipolarScalar(std::int8_t *w, unsigned n,
+                        std::uint64_t bits_lo, std::uint64_t bits_hi,
+                        bool taken);
+
+/** The dispatched kernels (resolved once from CPUID + PCBP_SIMD). */
+DotFn dotKernel();
+TrainFn trainKernel();
+
+/** Active dispatch level: "avx512", "avx2", or "scalar". */
+const char *levelName();
+
+/** Bipolar dot product via the dispatched kernel. */
+inline int
+dotBipolar(const std::int8_t *w, unsigned n, std::uint64_t bits_lo,
+           std::uint64_t bits_hi)
+{
+    return dotKernel()(w, n, bits_lo, bits_hi);
+}
+
+/** Bipolar weight update via the dispatched kernel. */
+inline void
+trainBipolar(std::int8_t *w, unsigned n, std::uint64_t bits_lo,
+             std::uint64_t bits_hi, bool taken)
+{
+    trainKernel()(w, n, bits_lo, bits_hi, taken);
+}
+
+} // namespace simd
+} // namespace pcbp
+
+#endif // PCBP_PREDICTORS_SIMD_HH

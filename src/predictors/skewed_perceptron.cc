@@ -1,5 +1,6 @@
 #include "predictors/skewed_perceptron.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/bit_utils.hh"
@@ -8,12 +9,27 @@
 namespace pcbp
 {
 
+namespace
+{
+
+std::size_t
+strideFor(unsigned history_bits)
+{
+    return (static_cast<std::size_t>(history_bits) + 63) / 64 * 64;
+}
+
+} // namespace
+
 SkewedPerceptron::SkewedPerceptron(std::size_t rows_per_bank,
                                    unsigned history_bits)
-    : weights(numBanks * rows_per_bank * (history_bits + 1), 0),
+    : weights(numBanks * rows_per_bank * strideFor(history_bits), 0),
+      biases(numBanks * rows_per_bank, 0),
       rowsPerBank(rows_per_bank),
       histBits(history_bits),
-      theta(static_cast<int>(1.93 * history_bits + 14))
+      rowStride(strideFor(history_bits)),
+      theta(static_cast<int>(1.93 * history_bits + 14)),
+      dot(simd::dotKernel()),
+      train(simd::trainKernel())
 {
     pcbp_assert(rows_per_bank > 0);
     pcbp_assert(history_bits >= 1 &&
@@ -50,12 +66,9 @@ SkewedPerceptron::output(Addr pc, const HistoryRegister &hist) const
 {
     int sum = 0;
     for (unsigned b = 0; b < numBanks; ++b) {
-        const std::int8_t *w =
-            &weights[(b * rowsPerBank + rowOf(b, pc, hist)) *
-                     (histBits + 1)];
-        sum += w[0];
-        for (unsigned i = 0; i < histBits; ++i)
-            sum += hist.bit(i) ? w[i + 1] : -w[i + 1];
+        const std::size_t row = b * rowsPerBank + rowOf(b, pc, hist);
+        sum += biases[row] + dot(&weights[row * rowStride], histBits,
+                                 hist.word0(), hist.word1());
     }
     return sum;
 }
@@ -74,22 +87,18 @@ SkewedPerceptron::update(Addr pc, const HistoryRegister &hist, bool taken)
     if (pred == taken && std::abs(out) > theta)
         return;
 
-    auto bump = [](std::int8_t &weight, bool up) {
-        if (up) {
-            if (weight < 127)
-                ++weight;
-        } else {
-            if (weight > -127)
-                --weight;
-        }
-    };
     for (unsigned b = 0; b < numBanks; ++b) {
-        std::int8_t *w =
-            &weights[(b * rowsPerBank + rowOf(b, pc, hist)) *
-                     (histBits + 1)];
-        bump(w[0], taken);
-        for (unsigned i = 0; i < histBits; ++i)
-            bump(w[i + 1], hist.bit(i) == taken);
+        const std::size_t row = b * rowsPerBank + rowOf(b, pc, hist);
+        std::int8_t &bias = biases[row];
+        if (taken) {
+            if (bias < 127)
+                ++bias;
+        } else {
+            if (bias > -127)
+                --bias;
+        }
+        train(&weights[row * rowStride], histBits, hist.word0(),
+              hist.word1(), taken);
     }
 }
 
@@ -97,12 +106,15 @@ void
 SkewedPerceptron::reset()
 {
     std::fill(weights.begin(), weights.end(), 0);
+    std::fill(biases.begin(), biases.end(), 0);
 }
 
 std::size_t
 SkewedPerceptron::sizeBits() const
 {
-    return weights.size() * 8;
+    // Logical cost: (history + bias) int8 weights per row per bank;
+    // the 64-byte SoA row padding is not charged.
+    return numBanks * rowsPerBank * (histBits + 1) * 8;
 }
 
 std::string

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "predictors/predictor.hh"
+#include "predictors/simd.hh"
 
 namespace pcbp
 {
@@ -51,11 +52,20 @@ class SkewedPerceptron final : public DirectionPredictor
 
     static constexpr unsigned numBanks = 3;
 
-    /** Per-bank weights: [row][bias, w1..wh]. */
+    /**
+     * Per-bank history weights, one padded row per (bank, row) pair
+     * (rowStride bytes, pad weights 0 — see perceptron.hh for the
+     * SoA layout this shares).
+     */
     std::vector<std::int8_t> weights;
+    /** Bias weights, one per (bank, row) pair. */
+    std::vector<std::int8_t> biases;
     std::size_t rowsPerBank;
     unsigned histBits;
+    std::size_t rowStride;
     int theta;
+    simd::DotFn dot;
+    simd::TrainFn train;
 };
 
 } // namespace pcbp

@@ -1,5 +1,7 @@
 #include "predictors/tage.hh"
 
+#include <algorithm>
+
 #include "common/bit_utils.hh"
 #include "common/logging.hh"
 #include "obs/stat_registry.hh"
@@ -15,7 +17,7 @@ Tage::Tage(const TageConfig &config)
     pcbp_assert(!cfg.tables.empty(), "tage needs tagged tables");
     pcbp_assert(cfg.counterBits >= 2 && cfg.usefulBits >= 1);
 
-    base.assign(cfg.baseEntries, SatCounter(2, 1));
+    base = SatCounterTable(cfg.baseEntries, 2, 1);
 
     unsigned prev_hist = 0;
     for (const TageTableConfig &tc : cfg.tables) {
@@ -30,11 +32,10 @@ Tage::Tage(const TageConfig &config)
         Table t;
         t.cfg = tc;
         t.indexBits = log2Floor(tc.entries);
-        Entry e;
-        e.ctr = SatCounter(cfg.counterBits,
-                           (1u << (cfg.counterBits - 1)) - 1);
-        e.useful = SatCounter(cfg.usefulBits, 0);
-        t.rows.assign(tc.entries, e);
+        t.ctrs = SatCounterTable(tc.entries, cfg.counterBits,
+                                 (1u << (cfg.counterBits - 1)) - 1);
+        t.tags.assign(tc.entries, 0);
+        t.useful = SatCounterTable(tc.entries, cfg.usefulBits, 0);
         tables.push_back(std::move(t));
     }
     maxHistory = cfg.tables.back().historyLength;
@@ -77,25 +78,27 @@ Tage::Match
 Tage::lookup(Addr pc, const HistoryRegister &hist) const
 {
     Match m;
-    m.alternatePred = base[baseIndex(pc)].taken();
+    m.alternatePred = base.taken(baseIndex(pc));
     m.providerPred = m.alternatePred;
     for (int i = int(tables.size()) - 1; i >= 0; --i) {
         const Table &t = tables[i];
-        const Entry &e = t.rows[tableIndex(t, pc, hist)];
-        if (e.tag != tableTag(t, pc, hist))
+        const std::size_t idx = tableIndex(t, pc, hist);
+        if (t.tags[idx] !=
+            static_cast<std::uint16_t>(tableTag(t, pc, hist))) {
             continue;
+        }
         if (m.provider < 0) {
             m.provider = i;
-            m.providerPred = e.ctr.taken();
+            m.providerPred = t.ctrs.taken(idx);
             // "Newly allocated" signature: weak counter, no proven
             // usefulness yet.
-            const unsigned mid = e.ctr.maxValue() / 2;
-            m.providerWeak = e.useful.value() == 0 &&
-                             (e.ctr.value() == mid ||
-                              e.ctr.value() == mid + 1);
+            const unsigned mid = t.ctrs.maxValue() / 2;
+            m.providerWeak = t.useful.value(idx) == 0 &&
+                             (t.ctrs.value(idx) == mid ||
+                              t.ctrs.value(idx) == mid + 1);
         } else {
             m.alternate = i;
-            m.alternatePred = e.ctr.taken();
+            m.alternatePred = t.ctrs.taken(idx);
             break;
         }
     }
@@ -126,7 +129,7 @@ Tage::update(Addr pc, const HistoryRegister &hist, bool taken)
 
     if (m.provider >= 0) {
         Table &t = tables[m.provider];
-        Entry &e = t.rows[tableIndex(t, pc, hist)];
+        const std::size_t idx = tableIndex(t, pc, hist);
 
         // Track whether the alternate would have done better on weak
         // providers (drives the use-alt-on-weak policy).
@@ -136,16 +139,16 @@ Tage::update(Addr pc, const HistoryRegister &hist, bool taken)
         // Usefulness rewards the provider only where it beats the
         // alternate; a provider the alternate matches is replaceable.
         if (m.providerPred != m.alternatePred)
-            e.useful.update(m.providerPred == taken);
+            t.useful.update(idx, m.providerPred == taken);
 
-        e.ctr.update(taken);
+        t.ctrs.update(idx, taken);
 
         // The base keeps learning when it was (or backs) the
         // alternate, so freshly allocated entries fall back well.
         if (m.alternate < 0)
-            base[baseIndex(pc)].update(taken);
+            base.update(baseIndex(pc), taken);
     } else {
-        base[baseIndex(pc)].update(taken);
+        base.update(baseIndex(pc), taken);
     }
 
     // Allocate into a longer-history table when the final prediction
@@ -157,12 +160,13 @@ Tage::update(Addr pc, const HistoryRegister &hist, bool taken)
         for (std::size_t i = std::size_t(m.provider + 1);
              i < tables.size(); ++i) {
             Table &t = tables[i];
-            Entry &e = t.rows[tableIndex(t, pc, hist)];
-            if (e.useful.value() != 0)
+            const std::size_t idx = tableIndex(t, pc, hist);
+            if (t.useful.value(idx) != 0)
                 continue;
-            e.tag = tableTag(t, pc, hist);
-            e.ctr.setWeak(taken);
-            e.useful.set(0);
+            t.tags[idx] =
+                static_cast<std::uint16_t>(tableTag(t, pc, hist));
+            t.ctrs.setWeak(idx, taken);
+            t.useful.set(idx, 0);
             allocated = true;
             break;
         }
@@ -173,7 +177,7 @@ Tage::update(Addr pc, const HistoryRegister &hist, bool taken)
             for (std::size_t i = std::size_t(m.provider + 1);
                  i < tables.size(); ++i) {
                 Table &t = tables[i];
-                t.rows[tableIndex(t, pc, hist)].useful.decrement();
+                t.useful.decrement(tableIndex(t, pc, hist));
             }
         }
     }
@@ -191,21 +195,18 @@ Tage::agePeriodically()
     }
     ++agings;
     for (Table &t : tables)
-        for (Entry &e : t.rows)
-            e.useful.set(e.useful.value() >> 1);
+        for (std::size_t i = 0; i < t.useful.size(); ++i)
+            t.useful.set(i, t.useful.value(i) >> 1);
 }
 
 void
 Tage::reset()
 {
-    for (auto &c : base)
-        c.set(1);
+    base.fill(1);
     for (Table &t : tables) {
-        for (Entry &e : t.rows) {
-            e.ctr.set((1u << (cfg.counterBits - 1)) - 1);
-            e.tag = 0;
-            e.useful.set(0);
-        }
+        t.ctrs.fill((1u << (cfg.counterBits - 1)) - 1);
+        std::fill(t.tags.begin(), t.tags.end(), 0);
+        t.useful.fill(0);
     }
     useAltOnWeak.set(8);
     updates = 0;
@@ -222,7 +223,7 @@ Tage::sizeBits() const
 {
     std::size_t bits = base.size() * 2;
     for (const Table &t : tables)
-        bits += t.rows.size() *
+        bits += t.tags.size() *
                 (cfg.counterBits + cfg.usefulBits + t.cfg.tagBits);
     return bits;
 }

@@ -87,18 +87,19 @@ class Tage final : public DirectionPredictor
     std::size_t numTables() const { return tables.size(); }
 
   private:
-    struct Entry
-    {
-        SatCounter ctr;    //!< prediction counter
-        std::uint32_t tag = 0;
-        SatCounter useful; //!< usefulness (replacement victim filter)
-    };
-
+    /**
+     * One tagged component in structure-of-arrays form (DESIGN.md
+     * §12): the lookup walk touches tags only until a match, so a
+     * row probe costs a 2-byte load instead of dragging the whole
+     * {ctr, tag, useful} struct through the cache.
+     */
     struct Table
     {
         TageTableConfig cfg;
         unsigned indexBits = 0;
-        std::vector<Entry> rows;
+        SatCounterTable ctrs;            //!< prediction counters
+        std::vector<std::uint16_t> tags; //!< tagBits <= 16
+        SatCounterTable useful;          //!< replacement victim filter
     };
 
     /** Provider/alternate lookup shared by predict() and update(). */
@@ -121,7 +122,7 @@ class Tage final : public DirectionPredictor
     Match lookup(Addr pc, const HistoryRegister &hist) const;
     void agePeriodically();
 
-    std::vector<SatCounter> base;
+    SatCounterTable base;
     std::vector<Table> tables;
     TageConfig cfg;
     unsigned baseIndexBits;

@@ -222,6 +222,7 @@ runRepro(const ReproOptions &opts)
             run.stats = opts.stats;
             run.tracer = opts.tracer;
             run.fork = opts.fork;
+            run.batch = opts.batch;
             run.onCellDone = [&](const SweepCell &cell,
                                  const CellResult &result) {
                 log(f->id + ": " + cell.key());

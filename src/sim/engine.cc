@@ -98,7 +98,12 @@ Engine::resolveOldest(CommittedStream &committed)
         critiqueAt(0);
     }
 
-    Inflight r = core.popFront();
+    // Read the record in place and drop it: the pooled slot (and this
+    // reference) stays valid until the next fetchNext(), and skipping
+    // popFront()'s by-value copy saves a two-register checkpoint move
+    // per commit.
+    const Inflight &r = core.front();
+    core.dropFront();
 
     const CommittedBranch *cb = committed.at(commitIdx);
     pcbp_assert(cb != nullptr, "committed stream ended mid-run");
@@ -213,8 +218,8 @@ Engine::stepUntil(std::uint64_t commit_target,
     return commitIdx < totalBranches;
 }
 
-EngineStats
-Engine::resumeRun(CommittedStream &committed)
+void
+Engine::armResume(CommittedStream &committed)
 {
     totalBranches = std::min(cfg.warmupBranches + cfg.measureBranches,
                              committed.length());
@@ -227,6 +232,12 @@ Engine::resumeRun(CommittedStream &committed)
                 "fork past the start of its measured window");
     pcbp_assert(committed.produced() <= totalBranches,
                 "forked stream ahead of this fork's budget");
+}
+
+EngineStats
+Engine::resumeRun(CommittedStream &committed)
+{
+    armResume(committed);
     return finishRun(committed);
 }
 

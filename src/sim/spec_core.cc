@@ -1,5 +1,7 @@
 #include "sim/spec_core.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "obs/probes.hh"
 #include "obs/stat_registry.hh"
@@ -39,7 +41,7 @@ SpecCore<Payload>::SpecCore(Program &program_,
                             const SpecCoreConfig &config)
     : program(program_), hybrid(hybrid_), cfg(config),
       btb(config.btbEntries, config.btbWays),
-      slab(kInitialSlabSize)
+      slab(kInitialSlabSize), hitBits(kInitialSlabSize / 64, 0)
 {
 }
 
@@ -50,8 +52,8 @@ SpecCore<Payload>::SpecCore(const SpecCore &other, Program &program_,
     : program(program_), hybrid(hybrid_), cfg(other.cfg),
       btb(other.btb), slab(other.slab), headAbs(other.headAbs),
       tailAbs(other.tailAbs), firstUncritAbs(other.firstUncritAbs),
-      hitsFetched(other.hitsFetched), fetchBlock(other.fetchBlock),
-      specTraceIdx(other.specTraceIdx)
+      hitsFetched(other.hitsFetched), hitBits(other.hitBits),
+      fetchBlock(other.fetchBlock), specTraceIdx(other.specTraceIdx)
 {
     // The oracle stream belongs to the forked-from run and cannot be
     // duplicated from here; oracle-mode cells take the replay path.
@@ -76,6 +78,10 @@ SpecCore<Payload>::beginRun(CommittedStream *oracle_,
     tailAbs = 0;
     firstUncritAbs = 0;
     hitsFetched = 0;
+    // Not strictly required — gathers never read ordinals >=
+    // hitsFetched — but a clean ring keeps forked/reused cores
+    // bit-for-bit comparable in memory dumps.
+    std::fill(hitBits.begin(), hitBits.end(), 0);
 }
 
 template <typename Payload>
@@ -93,6 +99,16 @@ SpecCore<Payload>::growSlab()
             std::move(slab[abs & (slab.size() - 1)]);
     }
     slab = std::move(bigger);
+
+    // The hit-bit ring is addressed mod the slab size, so every live
+    // bit moves: rebuild it from the live records' own (hitsCum - 1,
+    // prophetPred) pairs.
+    hitBits.assign(slab.size() / 64, 0);
+    for (std::size_t abs = headAbs; abs != tailAbs; ++abs) {
+        const Record &r = rec(abs);
+        if (r.btbHit)
+            setHitBit(r.hitsCum - 1, r.prophetPred);
+    }
 }
 
 template <typename Payload>
@@ -129,6 +145,8 @@ SpecCore<Payload>::fetchNext()
         r.ctx.borBefore = hybrid.bor();
     }
 
+    if (r.btbHit)
+        setHitBit(hitsFetched, r.prophetPred);
     hitsFetched += r.btbHit ? 1 : 0;
     r.hitsCum = hitsFetched;
 
@@ -183,14 +201,14 @@ SpecCore<Payload>::critique(std::size_t idx)
         } else {
             // Real mode: the prophet's predictions for this branch
             // and the (BTB-identified) branches fetched after it,
-            // oldest first.
-            fbScratch.push(r.prophetPred);
-            for (std::size_t j = idx + 1;
-                 j < queueSize() && fbScratch.size() < want; ++j) {
-                const Record &y = rec(headAbs + j);
-                if (y.btbHit)
-                    fbScratch.push(y.prophetPred);
-            }
+            // oldest first. The hit-bit ring already holds exactly
+            // those bits contiguously by hit ordinal, so the gather
+            // is a two-word window read instead of a queue walk.
+            const std::uint64_t start = r.hitsCum - 1;
+            const unsigned count = static_cast<unsigned>(
+                std::min<std::uint64_t>(want,
+                                        hitsFetched - start));
+            fbScratch.assign(readHitBits(start), count);
         }
     }
 

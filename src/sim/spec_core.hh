@@ -306,6 +306,22 @@ class SpecCore
     Record popFront();
 
     /**
+     * Drop the oldest record without copying it out. The slot (and
+     * any front() reference to it) stays valid until the next
+     * fetchNext() — the commit path reads the record in place and
+     * then drops it, instead of paying popFront()'s by-value copy of
+     * the two-register checkpoint per commit.
+     */
+    void
+    dropFront()
+    {
+        pcbp_dassert(!queueEmpty());
+        ++headAbs;
+        if (firstUncritAbs < headAbs)
+            firstUncritAbs = headAbs;
+    }
+
+    /**
      * Index of the oldest uncritiqued entry, if any. Amortized O(1):
      * a cached cursor advances monotonically until the next flush.
      */
@@ -358,6 +374,20 @@ class SpecCore
     /** BTB-hitting fetches ever appended (hitsCum baseline). */
     std::uint64_t hitsFetched = 0;
 
+    /**
+     * The hit-bit ring: bit (h mod slab.size()) holds the prophet's
+     * prediction for the h-th BTB-hitting fetch (h = hitsCum - 1 of
+     * the record that produced it). The future-bit gather for a
+     * critique is then a two-word window read starting at the
+     * critiqued record's own hit ordinal — already in oldest-first
+     * FutureBits order — instead of a walk over the younger queue
+     * records. Ordinals needed by any gather span at most
+     * queueSize() <= slab.size() consecutive values, so live bits
+     * never collide mod the ring size; squashes need no cleanup
+     * because reclaimed ordinals are rewritten at the next fetch.
+     */
+    std::vector<std::uint64_t> hitBits;
+
     CommittedStream *oracle = nullptr;
     std::uint64_t oracleLimit = 0;
     BlockId fetchBlock = 0;
@@ -374,6 +404,37 @@ class SpecCore
     rec(std::size_t abs) const
     {
         return slab[abs & (slab.size() - 1)];
+    }
+
+    /** Record hit ordinal @p ord's prediction in the hit-bit ring. */
+    void
+    setHitBit(std::uint64_t ord, bool pred)
+    {
+        const std::size_t pos = ord & (slab.size() - 1);
+        const std::uint64_t m = std::uint64_t(1) << (pos & 63);
+        if (pred)
+            hitBits[pos >> 6] |= m;
+        else
+            hitBits[pos >> 6] &= ~m;
+    }
+
+    /**
+     * Read up to 64 ring bits starting at hit ordinal @p start_ord,
+     * oldest first in bit 0. Bits past the caller's count are
+     * garbage; the caller masks (FutureBits::assign).
+     */
+    std::uint64_t
+    readHitBits(std::uint64_t start_ord) const
+    {
+        const std::size_t pos = start_ord & (slab.size() - 1);
+        const std::size_t wi = pos >> 6;
+        const unsigned off = pos & 63;
+        std::uint64_t v = hitBits[wi] >> off;
+        if (off != 0) {
+            v |= hitBits[(wi + 1) & (hitBits.size() - 1)]
+                 << (64 - off);
+        }
+        return v;
     }
 
     /** Double the slab (record order preserved); stays power-of-two. */

@@ -1,0 +1,51 @@
+#include "sim/stream_fanout.hh"
+
+#include <algorithm>
+
+namespace pcbp
+{
+
+StreamFanout::View &
+StreamFanout::addView()
+{
+    views.emplace_back(std::unique_ptr<View>(new View(*this)));
+    return *views.back();
+}
+
+StreamFanout::View &
+StreamFanout::forkView(const View &parent)
+{
+    views.emplace_back(std::unique_ptr<View>(new View(parent)));
+    return *views.back();
+}
+
+bool
+StreamFanout::fetch(std::uint64_t idx, CommittedBranch &out)
+{
+    const CommittedBranch *cb = src.at(idx);
+    if (cb == nullptr)
+        return false;
+    out = *cb;
+    if (++sinceTrim >= kTrimInterval) {
+        sinceTrim = 0;
+        trim();
+    }
+    return true;
+}
+
+void
+StreamFanout::trim()
+{
+    std::uint64_t floor = ~std::uint64_t(0);
+    bool live = false;
+    for (const std::unique_ptr<View> &v : views) {
+        if (!v->retired) {
+            floor = std::min(floor, v->cursor);
+            live = true;
+        }
+    }
+    if (live)
+        src.release(floor);
+}
+
+} // namespace pcbp

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Stream fanout: many independent CommittedStream consumers over one
+ * shared producer.
+ *
+ * Batched execution (DESIGN.md §12) multiplexes several simulations
+ * of the *same workload* through one pass over the committed stream:
+ * the architectural records are identical for every member, so
+ * producing them once — one CFG walk with its behavior evaluation,
+ * or one trace decode — and letting each member read at its own pace
+ * amortizes production across the whole group and keeps the resident
+ * records cache-hot while every member crosses them.
+ *
+ * A StreamFanout wraps a single source CommittedStream and hands out
+ * Views. Each View is itself a CommittedStream whose produceNext()
+ * pulls from the shared source by absolute index, so a member
+ * simulation drives its View exactly as it would a private stream —
+ * same at()/release() sequence, same window growth, same
+ * produced/refills/window-peak counters, and backendName() forwards
+ * the source's name. A member's stats dump is therefore
+ * byte-identical to the dump of a standalone run over a private
+ * stream (the batched differential tests pin this).
+ *
+ * The source's resident window spans from the laggard view to the
+ * leader: fetches periodically release everything below the minimum
+ * live cursor, so with lockstep driving (bounded chunk per member per
+ * round) the shared window stays O(chunk), not O(run length). A view
+ * whose run has ended calls retire() so it stops holding the floor.
+ *
+ * Views can also be forked mid-run (forkView): the child copies the
+ * parent's resident window and cursors, making it indistinguishable
+ * from a stream that replayed the parent's call sequence — the same
+ * contract as the fork constructors of the concrete streams, which is
+ * what lets the PR 7 fork seam compose with batching (a fork-group's
+ * canonical member runs as a lane and its shorter siblings peel off
+ * as new lanes at their snapshot points).
+ */
+
+#ifndef PCBP_SIM_STREAM_FANOUT_HH
+#define PCBP_SIM_STREAM_FANOUT_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/committed_stream.hh"
+
+namespace pcbp
+{
+
+class StreamFanout
+{
+  public:
+    /** One consumer's independent cursor over the shared source. */
+    class View : public CommittedStream
+    {
+      public:
+        std::uint64_t length() const override
+        {
+            return fan.src.length();
+        }
+
+        /** Forwarded so member stats dumps match standalone runs. */
+        const char *backendName() const override
+        {
+            return fan.src.backendName();
+        }
+
+        /** Drop this view from the shared release floor once its
+         *  consumer is done reading (stats stay readable). */
+        void retire() { retired = true; }
+
+      protected:
+        bool produceNext(CommittedBranch &out) override
+        {
+            if (!fan.fetch(cursor, out))
+                return false;
+            ++cursor;
+            return true;
+        }
+
+      private:
+        friend class StreamFanout;
+
+        explicit View(StreamFanout &fan_) : fan(fan_) {}
+
+        /** Fork: same resident window, same cursors (DESIGN.md §11). */
+        View(const View &parent)
+            : CommittedStream(parent), fan(parent.fan),
+              cursor(parent.cursor)
+        {
+        }
+
+        StreamFanout &fan;
+        std::uint64_t cursor = 0; //!< next source index to consume
+        bool retired = false;
+    };
+
+    /** @p source must outlive the fanout and have no other reader. */
+    explicit StreamFanout(CommittedStream &source) : src(source) {}
+
+    StreamFanout(const StreamFanout &) = delete;
+    StreamFanout &operator=(const StreamFanout &) = delete;
+
+    /** New view at the start of the stream. */
+    View &addView();
+
+    /** New view continuing @p parent's position mid-stream. */
+    View &forkView(const View &parent);
+
+    std::size_t numViews() const { return views.size(); }
+
+    /** Records the shared source produced (paid once per group). */
+    std::uint64_t sharedProduced() const { return src.produced(); }
+
+    /** Peak resident window of the shared source — the lockstep
+     *  cache-residency bound. */
+    std::size_t sharedWindowPeak() const { return src.windowPeak(); }
+
+  private:
+    friend class View;
+
+    /** Serve record @p idx from the shared source (false = ended). */
+    bool fetch(std::uint64_t idx, CommittedBranch &out);
+
+    /** Release source records below the minimum live cursor. */
+    void trim();
+
+    /** Fetches between release-floor recomputations. */
+    static constexpr std::uint64_t kTrimInterval = 256;
+
+    CommittedStream &src;
+    std::vector<std::unique_ptr<View>> views;
+    std::uint64_t sinceTrim = 0;
+};
+
+} // namespace pcbp
+
+#endif // PCBP_SIM_STREAM_FANOUT_HH

@@ -174,6 +174,41 @@ TEST(BenchCompare, OneSidedBenchmarksNeverGate)
     EXPECT_TRUE(cmp.deltas[1].missingCurrent);  // "gone"
 }
 
+TEST(BenchCompare, JsonSummaryIncludesOneSidedBenchmarks)
+{
+    // "kept" is on both sides (a regression at -15%), "gone" only in
+    // the baseline, "new" only in the current run. The JSON summary
+    // must carry all three — the one-sided rows used to exist only
+    // as stderr lines, which a CI artifact can't capture.
+    const BenchRun base = fakeRun({
+        fakeResult("kept", "g", 1.0e9, 100000000),
+        fakeResult("gone", "g", 1.0e9, 1000),
+    });
+    const BenchRun cur = fakeRun({
+        fakeResult("kept", "g", 1.0e9 / 0.85, 100000000),
+        fakeResult("new", "g", 1.0e9, 1000),
+    });
+    const BenchComparison cmp = compareBenchRuns(base, cur, 0.10);
+    const std::string json = benchComparisonToJson(cmp, 0.10);
+
+    EXPECT_NE(json.find("\"schema\": \"pcbp-bench-compare-1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mismatched\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"regressed\": true"), std::string::npos);
+    // Both one-sided rows are present and flagged.
+    EXPECT_NE(json.find("\"name\": \"new\", \"baseline\": 0.000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"gone\""), std::string::npos);
+    EXPECT_NE(json.find("\"missing_baseline\": true"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"missing_current\": true"),
+              std::string::npos);
+
+    // The full document is schema-pinned by a golden (fixed fake
+    // numbers keep it byte-deterministic).
+    expectMatchesGolden(json, "bench_compare_schema.json");
+}
+
 TEST(BenchCompare, MismatchedModesAreFlagged)
 {
     BenchRun base = fakeRun({fakeResult("a", "g", 1.0e9, 1000)});

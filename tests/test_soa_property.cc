@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Property/fuzz tests for the SoA + SIMD prediction layer.
+ *
+ * The batched engine's equivalence argument (DESIGN.md §12) rests on
+ * three claims, each pinned here by randomized differential testing
+ * against a scalar reference:
+ *
+ * - the dispatched SIMD kernels (dot product, train) are
+ *   bit-identical to the scalar reference on every input, pad lanes
+ *   included — integer-only arithmetic makes the reduction
+ *   order-independent;
+ * - predictBatch/trainBatch on every registry predictor reproduce
+ *   the sequential predict/update loop exactly, under random
+ *   interleavings of batch widths;
+ * - the SoA containers (SatCounterTable) and hot-path bit helpers
+ *   (foldBitsFixed, bitReverse64) match their element-wise
+ *   references.
+ *
+ * The final tests push recovery-heavy and slab-growth schedules
+ * through the batched engine path (the test_fork.cc harness shapes),
+ * exercising checkpoint-slab growth and fork-ring copies inside a
+ * batch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "common/bit_utils.hh"
+#include "common/sat_counter.hh"
+#include "obs/stat_registry.hh"
+#include "predictors/factory.hh"
+#include "predictors/simd.hh"
+#include "sim/driver.hh"
+#include "workload/generator.hh"
+
+namespace pcbp
+{
+namespace
+{
+
+// ------------------------------------------------- kernel equivalence
+
+/** Hist widths crossing every vector-width boundary (64B = 64 lanes,
+ *  32B = 32 lanes, plus odd tails and the two-word split at 64). */
+const unsigned kWidths[] = {1, 7, 16, 31, 32, 59, 64, 65, 100, 128};
+
+std::size_t
+paddedStride(unsigned n)
+{
+    return (std::size_t(n) + 63) / 64 * 64;
+}
+
+/**
+ * The dispatched dot kernel must equal the scalar reference on random
+ * weights/bits at every history width. The fuzz respects the two
+ * caller contracts from simd.hh — pad lanes are zero (the vector
+ * paths read full 64-lane blocks unmasked and count on zero pads
+ * contributing zero; the train kernel, tested below, is what keeps
+ * them zero), and weights stay in the train clamp's [-127, 127]
+ * (-128 never occurs in real rows, and the vector negation would
+ * wrap on it) — while the `bits` positions past n are random
+ * garbage, which must not matter.
+ */
+TEST(SimdKernels, DotMatchesScalarAtEveryWidth)
+{
+    std::mt19937_64 rng(12345);
+    const simd::DotFn dot = simd::dotKernel();
+    for (const unsigned n : kWidths) {
+        SCOPED_TRACE(std::string("width ") + std::to_string(n) +
+                     " level " + simd::levelName());
+        std::vector<std::int8_t> w(paddedStride(n), 0);
+        for (int iter = 0; iter < 200; ++iter) {
+            for (unsigned i = 0; i < n; ++i)
+                w[i] = static_cast<std::int8_t>(int(rng() % 255) - 127);
+            const std::uint64_t lo = rng(), hi = rng();
+            ASSERT_EQ(dot(w.data(), n, lo, hi),
+                      simd::dotBipolarScalar(w.data(), n, lo, hi));
+        }
+    }
+}
+
+/**
+ * The dispatched train kernel must leave every weight row — pad
+ * bytes included — byte-identical to the scalar reference, across
+ * long schedules that drive weights into the ±127 saturation clamp.
+ */
+TEST(SimdKernels, TrainMatchesScalarIncludingSaturation)
+{
+    std::mt19937_64 rng(99);
+    const simd::TrainFn train = simd::trainKernel();
+    for (const unsigned n : kWidths) {
+        SCOPED_TRACE(std::string("width ") + std::to_string(n) +
+                     " level " + simd::levelName());
+        std::vector<std::int8_t> a(paddedStride(n), 0);
+        std::vector<std::int8_t> b(paddedStride(n), 0);
+
+        // Random phase: mixed directions explore the interior.
+        for (int iter = 0; iter < 300; ++iter) {
+            const std::uint64_t lo = rng(), hi = rng();
+            const bool taken = rng() & 1;
+            train(a.data(), n, lo, hi, taken);
+            simd::trainBipolarScalar(b.data(), n, lo, hi, taken);
+            ASSERT_EQ(a, b) << "after mixed step " << iter;
+        }
+
+        // Saturation phase: a constant pattern pushes every touched
+        // weight to a clamp boundary (+127 or -127) and holds it
+        // there — the adds_epi8/max_epi8 clamp must match the scalar
+        // one exactly, including never reaching -128.
+        const std::uint64_t lo = rng(), hi = rng();
+        for (int iter = 0; iter < 300; ++iter) {
+            train(a.data(), n, lo, hi, true);
+            simd::trainBipolarScalar(b.data(), n, lo, hi, true);
+        }
+        ASSERT_EQ(a, b) << "after saturating taken";
+        for (int iter = 0; iter < 600; ++iter) {
+            train(a.data(), n, lo, hi, false);
+            simd::trainBipolarScalar(b.data(), n, lo, hi, false);
+        }
+        ASSERT_EQ(a, b) << "after saturating not-taken";
+    }
+}
+
+// -------------------------------------- batch-API scalar equivalence
+
+HistoryRegister
+randomHistory(std::mt19937_64 &rng)
+{
+    HistoryRegister h;
+    const unsigned len = 1 + unsigned(rng() % 128);
+    for (unsigned i = 0; i < len; ++i)
+        h.shiftIn(rng() & 1);
+    return h;
+}
+
+/**
+ * For every registry prophet: a random interleaving of predictBatch
+ * and trainBatch calls (widths 1..16) must behave exactly as the
+ * sequential predict/update loop on an identically-constructed twin.
+ * This is the contract that lets the engine swap in batched lookups
+ * without perturbing a single prediction.
+ */
+TEST(BatchApi, EveryRegistryProphetMatchesSequentialLoops)
+{
+    for (const ProphetKind kind : allProphetKinds()) {
+        SCOPED_TRACE(prophetKindName(kind));
+        std::mt19937_64 rng(777);
+        const DirectionPredictorPtr batched =
+            makeProphet(kind, Budget::B2KB);
+        const DirectionPredictorPtr scalar =
+            makeProphet(kind, Budget::B2KB);
+
+        for (int round = 0; round < 200; ++round) {
+            const std::size_t width = 1 + rng() % 16;
+            if (rng() % 2) {
+                std::vector<PredictQuery> qs(width);
+                for (auto &q : qs) {
+                    q.pc = (rng() % 4096) * 4;
+                    q.hist = randomHistory(rng);
+                }
+                std::vector<std::uint8_t> got(width);
+                batched->predictBatch(
+                    qs.data(), width,
+                    reinterpret_cast<bool *>(got.data()));
+                for (std::size_t i = 0; i < width; ++i) {
+                    ASSERT_EQ(bool(got[i]),
+                              scalar->predict(qs[i].pc, qs[i].hist))
+                        << "round " << round << " lane " << i;
+                }
+            } else {
+                std::vector<TrainItem> items(width);
+                for (auto &it : items) {
+                    it.pc = (rng() % 4096) * 4;
+                    it.hist = randomHistory(rng);
+                    it.taken = rng() & 1;
+                }
+                batched->trainBatch(items.data(), width);
+                for (const TrainItem &it : items)
+                    scalar->update(it.pc, it.hist, it.taken);
+            }
+        }
+
+        // Final state must agree too: probe with fresh queries.
+        std::vector<PredictQuery> probe(64);
+        for (auto &q : probe) {
+            q.pc = (rng() % 4096) * 4;
+            q.hist = randomHistory(rng);
+        }
+        std::vector<std::uint8_t> got(probe.size());
+        batched->predictBatch(probe.data(), probe.size(),
+                              reinterpret_cast<bool *>(got.data()));
+        for (std::size_t i = 0; i < probe.size(); ++i) {
+            ASSERT_EQ(bool(got[i]),
+                      scalar->predict(probe[i].pc, probe[i].hist))
+                << "final probe lane " << i;
+        }
+    }
+}
+
+/**
+ * Clones taken mid-schedule stay equivalent: the SoA layouts must
+ * deep-copy (no aliasing), since clone() is the fork seam the
+ * batched runner peels lanes with.
+ */
+TEST(BatchApi, CloneOfSoAStateIsIndependent)
+{
+    std::mt19937_64 rng(31);
+    for (const ProphetKind kind : allProphetKinds()) {
+        SCOPED_TRACE(prophetKindName(kind));
+        const DirectionPredictorPtr a = makeProphet(kind, Budget::B2KB);
+        for (int i = 0; i < 500; ++i)
+            a->update((rng() % 1024) * 4, randomHistory(rng), rng() & 1);
+
+        const DirectionPredictorPtr b = a->clone();
+
+        // Diverge the original; the clone must not move.
+        const Addr pc = 4 * (rng() % 1024);
+        const HistoryRegister h = randomHistory(rng);
+        const bool before = b->predict(pc, h);
+        for (int i = 0; i < 2000; ++i)
+            a->update(pc, h, !before);
+        ASSERT_EQ(b->predict(pc, h), before)
+            << "clone aliased trained state";
+    }
+}
+
+// --------------------------------------------- SoA container + bits
+
+/** SatCounterTable vs vector<SatCounter> under a random op stream. */
+TEST(SoAContainers, SatCounterTableMatchesElementWise)
+{
+    std::mt19937_64 rng(5150);
+    for (const unsigned bits : {1u, 2u, 3u, 5u, 8u}) {
+        SCOPED_TRACE(std::to_string(bits) + "-bit counters");
+        const unsigned init = (1u << bits) / 2;
+        const std::size_t n = 257;
+        SatCounterTable table(n, bits, init);
+        std::vector<SatCounter> ref(n, SatCounter(bits, init));
+
+        for (int iter = 0; iter < 5000; ++iter) {
+            const std::size_t i = rng() % n;
+            switch (rng() % 4) {
+              case 0:
+                table.update(i, true);
+                ref[i].update(true);
+                break;
+              case 1:
+                table.update(i, false);
+                ref[i].update(false);
+                break;
+              case 2: {
+                const bool dir = rng() & 1;
+                table.setWeak(i, dir);
+                ref[i].setWeak(dir);
+                break;
+              }
+              default: {
+                const unsigned v = rng() % (table.maxValue() + 1);
+                table.set(i, v);
+                ref[i].set(v);
+                break;
+              }
+            }
+            ASSERT_EQ(table.value(i), ref[i].value());
+            ASSERT_EQ(table.taken(i), ref[i].taken());
+            ASSERT_EQ(table.saturated(i), ref[i].saturated());
+        }
+    }
+}
+
+/** foldBitsFixed is foldBits for every (value, width). */
+TEST(BitUtils, FoldBitsFixedMatchesFoldBits)
+{
+    std::mt19937_64 rng(2026);
+    for (unsigned bits = 1; bits <= 64; ++bits) {
+        for (int iter = 0; iter < 200; ++iter) {
+            const std::uint64_t v = rng();
+            ASSERT_EQ(foldBitsFixed(v, bits), foldBits(v, bits))
+                << "v=" << v << " bits=" << bits;
+        }
+        ASSERT_EQ(foldBitsFixed(0, bits), foldBits(0, bits));
+        ASSERT_EQ(foldBitsFixed(~0ull, bits), foldBits(~0ull, bits));
+    }
+}
+
+/** bitReverse64: involution, and single-bit mapping i -> 63-i. */
+TEST(BitUtils, BitReverse64Properties)
+{
+    std::mt19937_64 rng(4242);
+    for (int iter = 0; iter < 1000; ++iter) {
+        const std::uint64_t v = rng();
+        ASSERT_EQ(bitReverse64(bitReverse64(v)), v);
+    }
+    for (unsigned i = 0; i < 64; ++i)
+        ASSERT_EQ(bitReverse64(std::uint64_t(1) << i),
+                  std::uint64_t(1) << (63 - i));
+}
+
+// ------------------------------- stress schedules through the batch
+
+WorkloadRecipe
+stressRecipe(std::uint64_t seed, unsigned phase_chains)
+{
+    WorkloadRecipe r;
+    r.name = "soa-stress-" + std::to_string(seed);
+    r.seed = seed;
+    r.targetBlocks = 150;
+    r.numChains = 4;
+    r.numPhaseChains = phase_chains;
+    return r;
+}
+
+Workload
+stressWorkload(std::uint64_t seed, unsigned phase_chains)
+{
+    Workload w;
+    w.name = "soa-stress-" + std::to_string(seed);
+    w.suite = "TEST";
+    w.recipe = stressRecipe(seed, phase_chains);
+    w.simBranches = 6000;
+    w.warmupBranches = 600;
+    return w;
+}
+
+std::string
+scalarStatsJson(const Workload &w, const HybridSpec &spec,
+                EngineConfig cfg)
+{
+    StatRegistry reg;
+    cfg.statsOut = &reg;
+    runAccuracy(w, spec, cfg);
+    return reg.toJson();
+}
+
+/**
+ * Recovery-heavy schedule (phase-changing workload, the test_fork.cc
+ * SurvivesRecoveryHeavyWorkload shape) through a batched fork group:
+ * frequent mispredict recoveries exercise checkpoint restore and
+ * history repair on SoA state inside the lockstep pass.
+ */
+TEST(BatchStress, RecoveryHeavyScheduleMatchesScalar)
+{
+    const Workload w = stressWorkload(11, 6);
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::Gshare, Budget::B2KB,
+                   CriticKind::FilteredPerceptron, Budget::B2KB, 12);
+
+    std::vector<EngineConfig> group;
+    for (const std::uint64_t warm : {200ull, 600ull}) {
+        EngineConfig c;
+        c.warmupBranches = warm;
+        c.measureBranches = 5400;
+        group.push_back(c);
+    }
+
+    std::vector<std::string> ref;
+    for (const EngineConfig &c : group)
+        ref.push_back(scalarStatsJson(w, spec, c));
+
+    std::vector<StatRegistry> regs(group.size());
+    std::vector<EngineConfig> cfgs = group;
+    for (std::size_t j = 0; j < cfgs.size(); ++j)
+        cfgs[j].statsOut = &regs[j];
+    runAccuracyBatch(w, {spec}, {cfgs});
+    for (std::size_t j = 0; j < regs.size(); ++j)
+        EXPECT_EQ(regs[j].toJson(), ref[j]) << "member " << j;
+}
+
+/**
+ * Slab-growth schedule (deep pipeline, the test_fork.cc
+ * SurvivesCheckpointSlabGrowth shape) through a batched fork group:
+ * the checkpoint slab grows mid-run, forcing hit-bit-ring rebuilds
+ * and slab copies on the peeled lanes.
+ */
+TEST(BatchStress, CheckpointSlabGrowthMatchesScalar)
+{
+    const Workload w = stressWorkload(29, 2);
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::Perceptron, Budget::B2KB,
+                   CriticKind::TaggedGshare, Budget::B2KB, 8);
+
+    std::vector<EngineConfig> group;
+    for (const std::uint64_t warm : {150ull, 450ull, 900ull}) {
+        EngineConfig c;
+        c.pipelineDepth = 96;
+        c.warmupBranches = warm;
+        c.measureBranches = 5100;
+        group.push_back(c);
+    }
+
+    std::vector<std::string> ref;
+    for (const EngineConfig &c : group)
+        ref.push_back(scalarStatsJson(w, spec, c));
+
+    std::vector<StatRegistry> regs(group.size());
+    std::vector<EngineConfig> cfgs = group;
+    for (std::size_t j = 0; j < cfgs.size(); ++j)
+        cfgs[j].statsOut = &regs[j];
+    runAccuracyBatch(w, {spec}, {cfgs});
+    for (std::size_t j = 0; j < regs.size(); ++j)
+        EXPECT_EQ(regs[j].toJson(), ref[j]) << "member " << j;
+}
+
+} // namespace
+} // namespace pcbp

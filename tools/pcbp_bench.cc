@@ -23,6 +23,7 @@
  *
  *   pcbp_bench compare --baseline FILE CURRENT_FILE
  *                      [--threshold FRACTION] [--warn-only] [--strict]
+ *                      [--json-out FILE]
  *       Join two artifacts by benchmark name, print the comparison
  *       table, and exit 1 when any benchmark's throughput dropped
  *       more than the threshold (default 0.10 = 10%) below the
@@ -30,7 +31,11 @@
  *       always exits 0. Benchmarks present on only one side are
  *       reported (table verdicts plus an stderr summary) but don't
  *       gate by default; --strict also fails on such mismatched
- *       benchmark sets, for CI jobs that pin the registry. See
+ *       benchmark sets, for CI jobs that pin the registry.
+ *       --json-out writes the comparison as a pcbp-bench-compare-1
+ *       document — every delta including the one-sided benchmarks
+ *       (flagged `missing_baseline` / `missing_current`), so the CI
+ *       artifact is self-describing without scraping stderr. See
  *       docs/PERFORMANCE.md for methodology.
  */
 
@@ -64,7 +69,7 @@ usage(const char *argv0)
         << "          [--trace-out FILE]\n"
         << "  compare --baseline FILE CURRENT_FILE"
            " [--threshold FRACTION] [--warn-only]\n"
-           "          [--strict]\n";
+           "          [--strict] [--json-out FILE]\n";
     std::exit(2);
 }
 
@@ -78,6 +83,7 @@ struct Args
     std::string current;
     std::string statsOut;
     std::string traceOut;
+    std::string jsonOut;
     double threshold = 0.10;
     unsigned repeats = 0;
     bool quick = false;
@@ -110,6 +116,8 @@ parseArgs(int argc, char **argv)
             a.statsOut = next();
         else if (arg == "--trace-out")
             a.traceOut = next();
+        else if (arg == "--json-out")
+            a.jsonOut = next();
         else if (arg == "--threshold")
             a.threshold = std::atof(next().c_str());
         else if (arg == "--repeats")
@@ -208,6 +216,14 @@ cmdCompare(const Args &a)
     const BenchComparison cmp =
         compareBenchRuns(base, cur, a.threshold);
     std::cout << benchComparisonTable(cmp, a.threshold).toMarkdown();
+
+    // The JSON summary carries every delta — the one-sided
+    // benchmarks included, with their missing_* flags — so a CI
+    // artifact of the comparison needs no stderr scraping.
+    if (!a.jsonOut.empty()) {
+        writeFileOrDie(a.jsonOut,
+                       benchComparisonToJson(cmp, a.threshold));
+    }
 
     // Benchmarks on only one side never compare silently: name them
     // on stderr, and under --strict treat the mismatch as a failure

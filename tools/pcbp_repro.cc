@@ -10,7 +10,7 @@
  *                  [--quick] [--branches N] [--workloads LIST]
  *                  [--suite LIST] [--max-cells N] [--quiet]
  *                  [--progress] [--stats-out FILE] [--trace-out FILE]
- *                  [--no-fork]
+ *                  [--no-fork] [--batch]
  *       Run the selected figures' sweep grids against per-figure
  *       stores under DIR/store/ and render DIR/REPRO.md plus
  *       per-figure CSV/JSON artifacts. Cells already in a store are
@@ -24,8 +24,10 @@
  *       stderr heartbeat; --stats-out dumps the run-wide stats
  *       registry (JSON + .md); --trace-out writes a Perfetto-
  *       loadable span trace; --no-fork disables fork-based execution
- *       of shared-warmup cells (DESIGN.md §11). None of the four
- *       changes any store or report byte.
+ *       of shared-warmup cells (DESIGN.md §11); --batch multiplexes
+ *       each (workload, mode) pair's cells through one lockstep pass
+ *       over a shared committed stream (DESIGN.md §12). None of
+ *       these changes any store or report byte.
  *
  *   pcbp_repro render [--figures LIST|all] [--out DIR] [--quick]
  *                     [--branches N] [--workloads LIST] [--suite LIST]
@@ -60,7 +62,7 @@ usage(const char *argv0)
         << "         [--branches N] [--workloads LIST] [--suite LIST]\n"
         << "         [--max-cells N] [--quiet] [--progress]\n"
         << "         [--stats-out FILE] [--trace-out FILE]"
-           " [--no-fork]\n"
+           " [--no-fork] [--batch]\n"
         << "  render [--figures LIST|all] [--out DIR] [--quick]"
            " [--branches N]\n"
         << "         [--workloads LIST] [--suite LIST]\n";
@@ -117,6 +119,8 @@ parseArgs(int argc, char **argv)
             a.opts.progress = true;
         else if (arg == "--no-fork")
             a.opts.fork = false;
+        else if (arg == "--batch")
+            a.opts.batch = true;
         else if (arg == "--stats-out")
             a.statsOut = next();
         else if (arg == "--trace-out")

@@ -5,7 +5,7 @@
  *   pcbp_sweep run --spec FILE --store FILE [--jobs N]
  *                  [--max-cells N] [--quiet] [--progress]
  *                  [--stats-out FILE] [--trace-out FILE]
- *                  [--cell-stats] [--no-fork]
+ *                  [--cell-stats] [--no-fork] [--batch]
  *       Execute the grid. Cells already in the store are skipped, so
  *       an interrupted run resumes where it left off. Output is
  *       bit-identical for any --jobs value. `mode = timing` grids
@@ -17,7 +17,11 @@
  *       counters in its stored result (off by default — stores stay
  *       byte-identical to earlier versions); --no-fork disables
  *       fork-based execution of shared-warmup cells (DESIGN.md §11
- *       — results are bit-identical either way, just slower).
+ *       — results are bit-identical either way, just slower);
+ *       --batch multiplexes all cells of each (workload, mode) pair
+ *       through one lockstep pass over a shared committed stream
+ *       (DESIGN.md §12 — again bit-identical, the stream is
+ *       produced once per workload instead of once per cell).
  *
  *   pcbp_sweep status --spec FILE --store FILE [--watch SEC]
  *       Completed / remaining cell counts for the grid. --watch
@@ -60,7 +64,8 @@ usage(const char *argv0)
         << "  run    --spec FILE --store FILE [--jobs N]"
            " [--max-cells N] [--quiet]\n"
         << "         [--progress] [--stats-out FILE]"
-           " [--trace-out FILE] [--cell-stats] [--no-fork]\n"
+           " [--trace-out FILE] [--cell-stats] [--no-fork]"
+           " [--batch]\n"
         << "  status --spec FILE --store FILE [--watch SEC]\n"
         << "  cells  --spec FILE\n"
         << "  export --store FILE [--format csv|json] [--out FILE]\n";
@@ -82,6 +87,7 @@ struct Args
     bool progress = false;
     bool cellStats = false;
     bool fork = true;
+    bool batch = false;
 };
 
 Args
@@ -122,6 +128,8 @@ parseArgs(int argc, char **argv)
             a.cellStats = true;
         else if (arg == "--no-fork")
             a.fork = false;
+        else if (arg == "--batch")
+            a.batch = true;
         else
             usage(argv[0]);
     }
@@ -143,6 +151,7 @@ cmdRun(const Args &a, const char *argv0)
     opt.maxCells = a.maxCells;
     opt.cellStats = a.cellStats;
     opt.fork = a.fork;
+    opt.batch = a.batch;
     if (!a.statsOut.empty())
         opt.stats = &reg;
     if (!a.traceOut.empty())
