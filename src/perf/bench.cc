@@ -142,9 +142,9 @@ engineBody(const HybridSpec &spec, const BenchContext &ctx)
 
     std::uint64_t total = cfg.warmupBranches + cfg.measureBranches;
     if (!w.tracePath.empty()) {
-        TraceFileStream stream(w.tracePath);
-        total = std::min(total, stream.length());
-        engine.run(stream);
+        auto stream = openTraceStream(w.tracePath);
+        total = std::min(total, stream->length());
+        engine.run(*stream);
     } else {
         engine.run();
     }
@@ -171,9 +171,9 @@ timingBody(const HybridSpec &spec, const BenchContext &ctx)
 
     std::uint64_t total = cfg.warmupBranches + cfg.measureBranches;
     if (!w.tracePath.empty()) {
-        TraceFileStream stream(w.tracePath);
-        total = std::min(total, stream.length());
-        sim.run(stream);
+        auto stream = openTraceStream(w.tracePath);
+        total = std::min(total, stream->length());
+        sim.run(*stream);
     } else {
         sim.run();
     }

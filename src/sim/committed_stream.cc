@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/stat_registry.hh"
 #include "workload/trace.hh"
 
 namespace pcbp
@@ -87,8 +88,24 @@ TraceFileStream::TraceFileStream(const std::string &path_,
     buf.resize(chunk_records * tracefmt::recordBytes);
 }
 
+TraceFileStream::TraceFileStream(const std::string &path_,
+                                 std::uint64_t start_ordinal,
+                                 std::size_t chunk_records)
+    : TraceFileStream(path_, chunk_records)
+{
+    pcbp_assert(start_ordinal <= count,
+                "trace seek past the end of the file");
+    if (std::fseek(file,
+                   static_cast<long>(start_ordinal *
+                                     tracefmt::recordBytes),
+                   SEEK_CUR) != 0)
+        pcbp_fatal("cannot seek '", path, "' to a start ordinal");
+    decoded = start_ordinal;
+    seekBase(start_ordinal);
+}
+
 TraceFileStream::TraceFileStream(const TraceFileStream &other)
-    : CommittedStream(other), path(other.path), count(other.count),
+    : TraceStream(other), path(other.path), count(other.count),
       decoded(other.decoded), buf(other.buf), bufPos(other.bufPos),
       bufLen(other.bufLen)
 {
@@ -132,6 +149,63 @@ TraceFileStream::produceNext(CommittedBranch &out)
     bufPos += tracefmt::recordBytes;
     ++decoded;
     return true;
+}
+
+CompressedTraceStream::CompressedTraceStream(const std::string &path)
+    : reader(Trace2Reader::open(path))
+{
+}
+
+CompressedTraceStream::CompressedTraceStream(const std::string &path,
+                                             std::uint64_t start_ordinal)
+    : reader(Trace2Reader::open(path))
+{
+    pcbp_assert(start_ordinal <= reader->recordCount(),
+                "trace seek past the end of the file");
+    decoded = start_ordinal;
+    seekBase(start_ordinal);
+    ++seekCount;
+}
+
+bool
+CompressedTraceStream::produceNext(CommittedBranch &out)
+{
+    if (decoded >= reader->recordCount())
+        return false;
+    const std::uint64_t b = reader->blockOfOrdinal(decoded);
+    if (b != blockIdx) {
+        reader->decodeBlock(b, block);
+        blockIdx = b;
+        ++blockDecodes;
+    }
+    out = block[static_cast<std::size_t>(
+        decoded - b * reader->recordsPerBlock())];
+    ++decoded;
+    return true;
+}
+
+void
+CompressedTraceStream::exportHostStats(StatRegistry &reg) const
+{
+    reg.addHost("trace.store.blocks_decoded", blockDecodes);
+    reg.addHost("trace.store.seeks", seekCount);
+    reg.setHostMax("trace.store.bytes_mapped", reader->mappedBytes());
+}
+
+std::unique_ptr<TraceStream>
+openTraceStream(const std::string &path)
+{
+    if (isTrace2File(path))
+        return std::make_unique<CompressedTraceStream>(path);
+    return std::make_unique<TraceFileStream>(path);
+}
+
+std::unique_ptr<TraceStream>
+openTraceStreamAt(const std::string &path, std::uint64_t ordinal)
+{
+    if (isTrace2File(path))
+        return std::make_unique<CompressedTraceStream>(path, ordinal);
+    return std::make_unique<TraceFileStream>(path, ordinal, 4096);
 }
 
 bool

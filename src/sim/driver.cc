@@ -105,8 +105,8 @@ runAccuracy(const Workload &w, const HybridSpec &spec,
     auto hybrid = spec.build();
     Engine engine(program, *hybrid, config);
     if (!w.tracePath.empty()) {
-        TraceFileStream stream(w.tracePath);
-        return engine.run(stream);
+        auto stream = openTraceStream(w.tracePath);
+        return engine.run(*stream);
     }
     return engine.run();
 }
@@ -198,9 +198,9 @@ chainImpl(const Workload &w, const HybridSpec &spec,
     };
 
     if (!w.tracePath.empty()) {
-        TraceFileStream stream(w.tracePath);
-        drive(stream, [&](Program &, std::uint64_t) {
-            return std::make_unique<TraceFileStream>(stream);
+        auto stream = openTraceStream(w.tracePath);
+        drive(*stream, [&](Program &, std::uint64_t) {
+            return stream->forkStream();
         });
     } else {
         ProgramWalkStream stream(
@@ -258,7 +258,7 @@ batchImpl(const Workload &w, const std::vector<HybridSpec> &specs,
 
     std::unique_ptr<CommittedStream> source;
     if (!w.tracePath.empty())
-        source = std::make_unique<TraceFileStream>(w.tracePath);
+        source = openTraceStream(w.tracePath);
     else
         source = std::make_unique<ProgramWalkStream>(program, longest);
     StreamFanout fan(*source);
@@ -543,8 +543,8 @@ runTiming(const Workload &w, const HybridSpec &spec,
     auto hybrid = spec.build();
     TimingSim sim(program, *hybrid, config);
     if (!w.tracePath.empty()) {
-        TraceFileStream stream(w.tracePath);
-        return sim.run(stream);
+        auto stream = openTraceStream(w.tracePath);
+        return sim.run(*stream);
     }
     return sim.run();
 }

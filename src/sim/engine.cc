@@ -290,6 +290,7 @@ Engine::exportStats(CommittedStream &committed)
     reg.add("stream.refills", committed.refills());
     reg.add("stream.produced", committed.produced());
     reg.setMax("stream.window_peak", committed.windowPeak());
+    committed.exportHostStats(reg);
 
     hybrid.exportStats(reg, "predictor");
 }

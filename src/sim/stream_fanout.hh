@@ -65,6 +65,13 @@ class StreamFanout
             return fan.src.backendName();
         }
 
+        /** Host-side counters (e.g.\ trace.store.*) also forward:
+         *  the shared source did the actual decode work. */
+        void exportHostStats(StatRegistry &reg) const override
+        {
+            fan.src.exportHostStats(reg);
+        }
+
         /** Drop this view from the shared release floor once its
          *  consumer is done reading (stats stay readable). */
         void retire() { retired = true; }

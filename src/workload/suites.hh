@@ -11,9 +11,11 @@
  * shapes of Fig. 5. See DESIGN.md §3 for the substitution rationale.
  *
  * Beyond the synthetic registry, `trace:<path>` names a recorded
- * PCBPTRC1 committed-branch trace as a workload (suite "TRACE"):
- * the CFG is reconstructed from the file and the committed stream is
- * replayed from it — see DESIGN.md §5 and tools/pcbp_trace.cc.
+ * committed-branch trace as a workload (suite "TRACE"): the CFG is
+ * reconstructed from the file and the committed stream is replayed
+ * from it. The path may hold a flat PCBPTRC1 file or the compressed
+ * indexed PCBPTRC2 store — consumers sniff the magic — see
+ * DESIGN.md §5/§13 and tools/pcbp_trace.cc.
  */
 
 #ifndef PCBP_WORKLOAD_SUITES_HH
@@ -39,8 +41,9 @@ struct Workload
     /** Committed branches of warmup before stats collection. */
     std::uint64_t warmupBranches = 25000;
     /**
-     * Non-empty for trace workloads: path of the PCBPTRC1 file that
-     * provides the committed stream (the recipe is unused then).
+     * Non-empty for trace workloads: path of the trace file
+     * (either format) that provides the committed stream (the
+     * recipe is unused then).
      */
     std::string tracePath;
 };

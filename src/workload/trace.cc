@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "workload/behavior.hh"
+#include "workload/trace2.hh"
 
 namespace pcbp
 {
@@ -116,6 +117,9 @@ tryScanTraceFile(const std::string &path,
                  const std::function<void(const CommittedBranch &)> &fn,
                  std::string &error)
 {
+    if (isTrace2File(path))
+        return tryScanTrace2File(path, fn, error);
+
     std::uint64_t n = 0;
     std::FILE *f = tryOpenTraceFile(path, n, error);
     if (!f)
@@ -220,6 +224,8 @@ loadTrace(const std::string &path)
 std::uint64_t
 traceFileCount(const std::string &path)
 {
+    if (isTrace2File(path))
+        return Trace2Reader::open(path)->recordCount();
     std::uint64_t n = 0;
     std::FILE *f = openTraceFile(path, n);
     std::fclose(f);

@@ -17,6 +17,13 @@
  * Format (see DESIGN.md §5): 16-byte header ("PCBPTRC1" magic + u64
  * record count), then one 17-byte record per branch: u32 block,
  * u64 pc, u8 taken, u32 uops, all little-endian.
+ *
+ * PCBPTRC1 is the flat *interchange* format; workload/trace2.hh adds
+ * PCBPTRC2, the block-compressed indexed store. The generic entry
+ * points below (tryScanTraceFile, scanTraceFile, traceFileCount, and
+ * everything built on them) sniff the magic and handle either format
+ * transparently, so `trace:<path>` consumers never care which one
+ * they were given.
  */
 
 #ifndef PCBP_WORKLOAD_TRACE_HH
@@ -69,9 +76,10 @@ std::FILE *tryOpenTraceFile(const std::string &path,
                             std::uint64_t &count, std::string &error);
 
 /**
- * One chunked pass over every record of a trace file, in order —
- * the shared reader under summaries and CFG reconstruction
- * (O(chunk) memory; fatal on truncation).
+ * One chunked pass over every record of a trace file of either
+ * format (magic-sniffed), in order — the shared reader under
+ * summaries and CFG reconstruction (O(chunk) memory; fatal on
+ * truncation).
  */
 void scanTraceFile(const std::string &path,
                    const std::function<void(const CommittedBranch &)> &fn);
@@ -123,7 +131,8 @@ void saveTrace(const std::string &path,
 /** Read a trace written by saveTrace (fatal on format errors). */
 std::vector<CommittedBranch> loadTrace(const std::string &path);
 
-/** Record count from a trace file's header (fatal on bad files). */
+/** Record count from a trace file's header, either format (fatal on
+ *  bad files). */
 std::uint64_t traceFileCount(const std::string &path);
 
 /**

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * PCBPTRC2: block-compressed, indexed, mmap-able committed-branch
+ * traces.
+ *
+ * PCBPTRC1 (workload/trace.hh) spends a flat 17 bytes per branch, so
+ * a billion-branch real trace costs ~17 GB and reaching branch N
+ * means decoding every branch before it. PCBPTRC2 keeps the same
+ * record model — (block, pc, taken, uops) per committed branch — but
+ * stores it as fixed-size, *independently decodable* blocks of
+ * delta/varint-coded records plus an outcome bitstream, a static
+ * branch dictionary shared by all blocks, and a footer index mapping
+ * branch ordinal -> block file offset. The result is typically
+ * 4-14x smaller than PCBPTRC1 and O(1) to seek: ordinal / block
+ * records names the block, the index names its bytes, and at most
+ * one block is decoded to land on any branch — which is what makes
+ * fork-based mid-trace warmup cheap on real traces (DESIGN.md §11).
+ *
+ * PCBPTRC1 stays the interchange format: conversion is lossless in
+ * both directions (convertTraceFile), and every `trace:<path>`
+ * consumer sniffs the magic and opens either format transparently.
+ * Full wire spec: DESIGN.md §13.
+ */
+
+#ifndef PCBP_WORKLOAD_TRACE2_HH
+#define PCBP_WORKLOAD_TRACE2_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/cfg.hh"
+
+namespace pcbp
+{
+
+/** @name PCBPTRC2 wire format, shared by writer, reader, streams. */
+/// @{
+namespace trace2fmt
+{
+
+constexpr char magic[8] = {'P', 'C', 'B', 'P', 'T', 'R', 'C', '2'};
+constexpr char indexMagic[8] = {'P', 'C', 'B', 'P', 'I', 'D', 'X', '2'};
+constexpr char endMagic[8] = {'P', 'C', 'B', 'P', 'E', 'N', 'D', '2'};
+constexpr std::uint32_t version = 1;
+
+/** magic(8) + version(4) + recordsPerBlock(4) + recordCount(8) +
+ *  indexOffset(8) + reserved(8). */
+constexpr std::size_t headerBytes = 40;
+
+/** Smallest possible footer: indexMagic + staticCount(4) +
+ *  numBlocks(4) + recordCount echo(8) + endMagic. */
+constexpr std::size_t footerMinBytes = 32;
+
+constexpr std::uint32_t defaultBlockRecords = 4096;
+constexpr std::uint32_t maxBlockRecords = 1u << 20;
+
+} // namespace trace2fmt
+/// @}
+
+/** Parsed identity of a PCBPTRC2 file (the `pcbp_trace info` view). */
+struct Trace2Info
+{
+    std::uint32_t version = 0;
+    std::uint32_t recordsPerBlock = 0;
+    std::uint64_t recordCount = 0;
+    std::uint64_t numBlocks = 0;
+    std::uint64_t staticBranches = 0; //!< static-dictionary entries
+    std::uint64_t fileBytes = 0;
+    std::uint64_t indexBytes = 0; //!< footer (dict + index) bytes
+};
+
+/**
+ * Read-only, mmap-backed view of a PCBPTRC2 file: the parsed header
+ * and footer (static dictionary + block index) plus per-block decode.
+ * Immutable after open, so concurrent readers — and the stream forks
+ * of DESIGN.md §11 — share one mapping through a shared_ptr.
+ *
+ * tryOpen() validates everything reachable without decoding blocks:
+ * magic, version, geometry, footer bounds, index monotonicity, and
+ * the record-count echo. Block payloads are validated on decode
+ * (tryDecodeBlock), where a torn or corrupted block is a non-fatal
+ * error, never a crash or out-of-bounds read.
+ */
+class Trace2Reader
+{
+  public:
+    ~Trace2Reader();
+
+    Trace2Reader(const Trace2Reader &) = delete;
+    Trace2Reader &operator=(const Trace2Reader &) = delete;
+
+    /** nullptr on any malformed file, with a description in
+     *  @p error. */
+    static std::shared_ptr<const Trace2Reader>
+    tryOpen(const std::string &path, std::string &error);
+
+    /** Fatal wrapper over tryOpen (CLI / stream construction). */
+    static std::shared_ptr<const Trace2Reader>
+    open(const std::string &path);
+
+    std::uint64_t recordCount() const { return count; }
+    std::uint32_t recordsPerBlock() const { return blockRecords; }
+    std::uint64_t numBlocks() const { return blockOffsets.size(); }
+    std::uint64_t mappedBytes() const { return mapBytes; }
+    const std::string &filePath() const { return path; }
+    Trace2Info info() const;
+
+    /** Block holding branch ordinal @p ordinal. */
+    std::uint64_t
+    blockOfOrdinal(std::uint64_t ordinal) const
+    {
+        return ordinal / blockRecords;
+    }
+
+    /** Records block @p b holds (the last block may be short). */
+    std::uint32_t blockLength(std::uint64_t b) const;
+
+    /**
+     * Decode block @p b into @p out (cleared first). False, with
+     * @p error filled and @p out cleared, on a corrupt payload —
+     * bounds overrun, record-count mismatch, dictionary miss, or a
+     * payload that does not consume exactly its declared bytes (the
+     * torn-write detector).
+     */
+    bool tryDecodeBlock(std::uint64_t b,
+                        std::vector<CommittedBranch> &out,
+                        std::string &error) const;
+
+    /** Fatal wrapper over tryDecodeBlock (stream hot path). */
+    void decodeBlock(std::uint64_t b,
+                     std::vector<CommittedBranch> &out) const;
+
+  private:
+    Trace2Reader() = default;
+
+    std::string path;
+    const unsigned char *map = nullptr;
+    std::uint64_t mapBytes = 0;
+
+    std::uint32_t fileVersion = 0;
+    std::uint32_t blockRecords = 0;
+    std::uint64_t count = 0;
+    std::uint64_t indexOffset = 0;
+
+    std::vector<std::uint64_t> blockOffsets;
+    /** Static dictionary: blockId -> (pc, uops). */
+    std::unordered_map<BlockId, std::pair<Addr, std::uint32_t>> dict;
+};
+
+/**
+ * Streaming PCBPTRC2 writer: append records one at a time; blocks
+ * are encoded and flushed every recordsPerBlock records, the footer
+ * (dictionary + index) is written by finish(), which then patches
+ * the header's record count and index offset. The destructor
+ * finishes automatically; construction and I/O errors are fatal —
+ * the mirror of TraceWriter's contract.
+ */
+class Trace2Writer
+{
+  public:
+    explicit Trace2Writer(
+        const std::string &path,
+        std::uint32_t records_per_block = trace2fmt::defaultBlockRecords);
+    ~Trace2Writer();
+
+    Trace2Writer(const Trace2Writer &) = delete;
+    Trace2Writer &operator=(const Trace2Writer &) = delete;
+
+    void append(const CommittedBranch &r);
+
+    /** Flush the tail block, write the footer, patch the header, and
+     *  close. Idempotent. */
+    void finish();
+
+    std::uint64_t written() const { return count; }
+
+  private:
+    void flushBlock();
+
+    std::string path;
+    std::FILE *file = nullptr;
+    std::uint64_t count = 0;
+    std::uint32_t blockRecords = 0;
+    std::vector<CommittedBranch> pending;
+    std::vector<unsigned char> encoded; //!< reused encode scratch
+    std::vector<std::uint64_t> blockOffsets;
+    std::uint64_t nextOffset = trace2fmt::headerBytes;
+    /** First-seen (pc, uops) per block id; ordered so the footer
+     *  dictionary is written (and delta-coded) by ascending id. */
+    std::map<BlockId, std::pair<Addr, std::uint32_t>> dict;
+};
+
+/** True when the file starts with the PCBPTRC2 magic (false on
+ *  unreadable or short files — never an error). */
+bool isTrace2File(const std::string &path);
+
+/**
+ * One indexed pass over every record, in order — the PCBPTRC2 mirror
+ * of tryScanTraceFile: false (with @p error) on malformed files,
+ * without invoking @p fn past the corruption.
+ */
+bool tryScanTrace2File(
+    const std::string &path,
+    const std::function<void(const CommittedBranch &)> &fn,
+    std::string &error);
+
+/**
+ * Losslessly convert between trace formats, sniffing the input's
+ * magic: @p to_v2 selects the output format (records_per_block is
+ * ignored when writing PCBPTRC1). Returns the record count written.
+ * Fatal on malformed input; O(block) memory.
+ */
+std::uint64_t convertTraceFile(
+    const std::string &in, const std::string &out, bool to_v2,
+    std::uint32_t records_per_block = trace2fmt::defaultBlockRecords);
+
+/**
+ * Deterministic `key value` lines describing a trace file of either
+ * format (the `pcbp_trace info` body; schema pinned by
+ * tests/golden/trace_info_schema.txt). The path itself is not
+ * embedded, so output depends only on the file's bytes.
+ */
+std::string renderTraceInfo(const std::string &path);
+
+} // namespace pcbp
+
+#endif // PCBP_WORKLOAD_TRACE2_HH

@@ -605,5 +605,154 @@ TEST(BatchedDifferential, TraceBackendMatchesScalar)
     std::remove(path.c_str());
 }
 
+// ---------------------------------------- trace-format equivalence
+
+/**
+ * PCBPTRC2 must be invisible to every predictor in the registry: the
+ * same committed stream replayed from the v1 flat file
+ * (TraceFileStream) and from the v2 compressed store
+ * (CompressedTraceStream) yields bit-identical commit-order event
+ * streams and stats. Full StatRegistry JSON is deliberately NOT
+ * compared — the stream.backend.* sim tag and the host-only
+ * trace.store.* counters legitimately differ between backends; the
+ * contract is on everything the *predictors* can see.
+ */
+struct TraceFormatPair
+{
+    std::string v1;
+    std::string v2;
+
+    explicit TraceFormatPair(std::uint64_t seed, std::uint64_t branches)
+    {
+        v1 = testing::TempDir() + "diff_fmt_" + std::to_string(seed) +
+             ".pcbptrc";
+        v2 = v1 + "2";
+        Program p = generateProgram(randomRecipe(seed));
+        saveTrace(v1, walkProgram(p, branches));
+        convertTraceFile(v1, v2, true, 512);
+    }
+
+    ~TraceFormatPair()
+    {
+        std::remove(v1.c_str());
+        std::remove(v2.c_str());
+    }
+};
+
+std::pair<std::vector<CommitEvent>, EngineStats>
+engineTraceEvents(const std::string &trace_path, const HybridSpec &spec,
+                  const EngineConfig &cfg)
+{
+    Program p = reconstructProgramFromTrace(trace_path, "diff-fmt");
+    auto h = spec.build();
+    RecordingSink sink;
+    EngineConfig c = cfg;
+    c.commitSink = &sink;
+    auto stream = openTraceStream(trace_path);
+    const EngineStats st = Engine(p, *h, c).run(*stream);
+    return {std::move(sink.events), st};
+}
+
+void
+expectSameEngineStats(const EngineStats &a, const EngineStats &b)
+{
+    EXPECT_EQ(a.committedBranches, b.committedBranches);
+    EXPECT_EQ(a.committedUops, b.committedUops);
+    EXPECT_EQ(a.finalMispredicts, b.finalMispredicts);
+    EXPECT_EQ(a.prophetMispredicts, b.prophetMispredicts);
+    EXPECT_EQ(a.btbMisses, b.btbMisses);
+    EXPECT_EQ(a.criticOverrides, b.criticOverrides);
+    EXPECT_EQ(a.squashedPredictions, b.squashedPredictions);
+    EXPECT_EQ(a.wrongPathBranches, b.wrongPathBranches);
+    EXPECT_EQ(a.wrongPathUops, b.wrongPathUops);
+    EXPECT_EQ(a.partialCritiques, b.partialCritiques);
+}
+
+TEST(Trace2Differential, EveryProphetAgreesAcrossTraceFormats)
+{
+    const TraceFormatPair t(171, 7000);
+    const EngineConfig cfg = smallEngine();
+    for (const ProphetKind kind : allProphetKinds()) {
+        SCOPED_TRACE("prophet " + prophetKindName(kind));
+        auto [e1, s1] = engineTraceEvents(t.v1, prophetAlone(kind, Budget::B2KB), cfg);
+        auto [e2, s2] = engineTraceEvents(t.v2, prophetAlone(kind, Budget::B2KB), cfg);
+        expectSameEvents(e1, e2);
+        expectSameEngineStats(s1, s2);
+    }
+}
+
+TEST(Trace2Differential, EveryCriticAgreesAcrossTraceFormats)
+{
+    const TraceFormatPair t(173, 7000);
+    const EngineConfig cfg = smallEngine();
+    for (const CriticKind critic : allCriticKinds()) {
+        SCOPED_TRACE("critic " + criticKindName(critic));
+        const HybridSpec spec =
+            hybridSpec(ProphetKind::Perceptron, Budget::B2KB, critic,
+                       Budget::B2KB, 8);
+        auto [e1, s1] = engineTraceEvents(t.v1, spec, cfg);
+        auto [e2, s2] = engineTraceEvents(t.v2, spec, cfg);
+        expectSameEvents(e1, e2);
+        expectSameEngineStats(s1, s2);
+    }
+}
+
+TEST(Trace2Differential, TimingAgreesAcrossTraceFormats)
+{
+    const TraceFormatPair t(179, 5000);
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::Tage, Budget::B2KB,
+                   CriticKind::TaggedGshare, Budget::B2KB, 8);
+    TimingConfig cfg;
+    cfg.warmupBranches = 400;
+    cfg.measureBranches = 4000;
+
+    const auto timingRun = [&](const std::string &path) {
+        Program p = reconstructProgramFromTrace(path, "diff-fmt-t");
+        auto h = spec.build();
+        auto stream = openTraceStream(path);
+        return TimingSim(p, *h, cfg).run(*stream);
+    };
+    const TimingStats a = timingRun(t.v1);
+    const TimingStats b = timingRun(t.v2);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committedUops, b.committedUops);
+    EXPECT_EQ(a.committedBranches, b.committedBranches);
+    EXPECT_EQ(a.finalMispredicts, b.finalMispredicts);
+    EXPECT_EQ(a.fetchedUops, b.fetchedUops);
+    EXPECT_EQ(a.wrongPathFetchedUops, b.wrongPathFetchedUops);
+    EXPECT_EQ(a.criticOverrides, b.criticOverrides);
+    EXPECT_EQ(a.ftqEntriesFlushedByCritic, b.ftqEntriesFlushedByCritic);
+    EXPECT_EQ(a.partialCritiques, b.partialCritiques);
+    EXPECT_EQ(a.ftqEmptyCycles, b.ftqEmptyCycles);
+}
+
+/** The batched engine on a `trace:` workload backed by a v2 store
+ *  matches scalar replays of the same store — compression composes
+ *  with SIMD lanes, not just the scalar path. */
+TEST(Trace2Differential, BatchedTraceBackendMatchesScalarOnV2)
+{
+    const TraceFormatPair t(181, 8000);
+    const Workload &tw = workloadByName("trace:" + t.v2);
+
+    std::vector<HybridSpec> specs = {
+        prophetAlone(ProphetKind::Gshare, Budget::B2KB),
+        hybridSpec(ProphetKind::Perceptron, Budget::B2KB,
+                   CriticKind::TaggedGshare, Budget::B2KB, 8),
+    };
+    EngineConfig base;
+    base.warmupBranches = 800;
+    base.measureBranches = 7200;
+    const std::vector<EngineConfig> cfgs(specs.size(), base);
+
+    std::vector<ScalarRef> refs;
+    for (const HybridSpec &s : specs)
+        refs.push_back(scalarEngineRef(tw, s, base));
+    for (const std::size_t width : {1u, 4u}) {
+        SCOPED_TRACE("width " + std::to_string(width));
+        expectBatchMatchesScalar(tw, specs, cfgs, refs, width);
+    }
+}
+
 } // namespace
 } // namespace pcbp

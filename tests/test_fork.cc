@@ -27,6 +27,8 @@
 #include "sim/driver.hh"
 #include "sweep/runner.hh"
 #include "workload/generator.hh"
+#include "workload/trace.hh"
+#include "workload/trace2.hh"
 
 namespace pcbp
 {
@@ -471,6 +473,172 @@ TEST(Fork, SweepStoreBytesIdenticalForkVsReplay)
         const std::string replay = runWith(false, 1);
         EXPECT_EQ(runWith(true, 1), replay);
         EXPECT_EQ(runWith(true, 4), replay);
+    }
+}
+
+// -------------------------------------- compressed-trace workloads
+
+/** Record a CFG walk, keep it in both formats; paths live for the
+ *  whole process because workloadByName caches `trace:` entries. */
+struct RecordedTracePair
+{
+    std::string v1;
+    std::string v2;
+
+    RecordedTracePair(std::uint64_t seed, std::uint64_t branches)
+    {
+        v1 = testing::TempDir() + "fork_trace_" + std::to_string(seed) +
+             ".pcbptrc";
+        v2 = v1 + "2";
+        Program p = generateProgram(forkRecipe(seed));
+        saveTrace(v1, walkProgram(p, branches));
+        convertTraceFile(v1, v2, true, 256);
+    }
+};
+
+/**
+ * The chain driver's fork seam on a PCBPTRC2 workload: a shared
+ * warmup ladder over CompressedTraceStream forks (shared mmap
+ * reader, copied decode cursor) must equal per-cell linear replays —
+ * and the whole ladder must be format-invariant against the same
+ * chain on the v1 flat file.
+ */
+TEST(Fork, AccuracyChainMatchesIndividualRunsOnCompressedTrace)
+{
+    const RecordedTracePair t(61, 6000);
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::Perceptron, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8);
+
+    std::vector<EngineConfig> configs;
+    for (const std::uint64_t wb : {500ull, 1500ull, 3000ull}) {
+        EngineConfig cfg;
+        cfg.warmupBranches = wb;
+        cfg.measureBranches = 2000;
+        configs.push_back(cfg);
+    }
+
+    const Workload &w2 = workloadByName("trace:" + t.v2);
+    ChainObs obs;
+    const std::vector<EngineStats> chained =
+        runAccuracyChain(w2, spec, configs, &obs);
+    EXPECT_EQ(obs.snapshots, configs.size() - 1);
+    EXPECT_GT(obs.warmupBranchesSaved, 0u);
+
+    const Workload &w1 = workloadByName("trace:" + t.v1);
+    const std::vector<EngineStats> chained_v1 =
+        runAccuracyChain(w1, spec, configs);
+
+    ASSERT_EQ(chained.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        expectSameStats(chained[i], runAccuracy(w2, spec, configs[i]));
+        expectSameStats(chained[i], chained_v1[i]);
+    }
+}
+
+/** Same seam through the timing chain. */
+TEST(Fork, TimingChainMatchesIndividualRunsOnCompressedTrace)
+{
+    const RecordedTracePair t(67, 7000);
+    const Workload &w = workloadByName("trace:" + t.v2);
+    const HybridSpec spec =
+        hybridSpec(ProphetKind::GSkew, Budget::B8KB,
+                   CriticKind::TaggedGshare, Budget::B8KB, 8);
+
+    std::vector<TimingConfig> configs;
+    for (const std::uint64_t wb : {800ull, 2400ull}) {
+        TimingConfig cfg;
+        cfg.warmupBranches = wb;
+        cfg.measureBranches = 4000;
+        ASSERT_TRUE(timingForkable(cfg));
+        configs.push_back(cfg);
+    }
+
+    ChainObs obs;
+    const std::vector<TimingStats> chained =
+        runTimingChain(w, spec, configs, &obs);
+    EXPECT_EQ(obs.snapshots, configs.size() - 1);
+
+    ASSERT_EQ(chained.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        expectSameStats(chained[i], runTiming(w, spec, configs[i]));
+    }
+}
+
+/**
+ * The sweep executor end to end on a compressed trace: persisted
+ * ResultStore bytes identical with forking on or off, at any job
+ * count — and identical to the same sweep over the v1 file modulo
+ * the workload name embedded in the store keys.
+ */
+TEST(Fork, SweepStoreBytesIdenticalForkVsReplayOnCompressedTrace)
+{
+    const RecordedTracePair t(71, 5000);
+    SweepSpec spec;
+    spec.name = "fork-parity-trc2";
+    spec.axes.prophets = {ProphetKind::Gshare};
+    spec.axes.critics = {std::nullopt, CriticKind::TaggedGshare};
+    spec.workloads = {"trace:" + t.v2};
+    spec.branches = 2500;
+    spec.warmups = {400, 900, 1400};
+
+    auto runWith = [&](bool fork, unsigned jobs) {
+        ResultStore store;
+        SweepRunOptions opt;
+        opt.fork = fork;
+        opt.jobs = jobs;
+        runSweep(spec, store, opt);
+        return ResultStore::exportJson(store.all());
+    };
+
+    const std::string replay = runWith(false, 1);
+    EXPECT_EQ(runWith(true, 1), replay);
+    EXPECT_EQ(runWith(true, 4), replay);
+}
+
+/**
+ * Index-seeded replay: a stream opened at an arbitrary ordinal via
+ * the footer index must emit exactly the linear stream's tail —
+ * record for record, across both formats — while touching only the
+ * blocks the tail actually spans.
+ */
+TEST(Fork, SeekSeededStreamMatchesLinearReplayTail)
+{
+    const RecordedTracePair t(73, 4000);
+    const auto full = loadTrace(t.v1);
+    ASSERT_EQ(full.size(), 4000u);
+
+    for (const std::uint64_t ordinal : {0ull, 1ull, 255ull, 256ull,
+                                        1000ull, 3999ull}) {
+        SCOPED_TRACE("ordinal " + std::to_string(ordinal));
+        for (const std::string &path : {t.v1, t.v2}) {
+            auto s = openTraceStreamAt(path, ordinal);
+            ASSERT_EQ(s->length(), full.size());
+            for (std::uint64_t i = ordinal; i < full.size(); ++i) {
+                const CommittedBranch *r = s->at(i);
+                ASSERT_NE(r, nullptr) << path << " record " << i;
+                ASSERT_EQ(r->block, full[std::size_t(i)].block);
+                ASSERT_EQ(r->pc, full[std::size_t(i)].pc);
+                ASSERT_EQ(r->taken, full[std::size_t(i)].taken);
+                ASSERT_EQ(r->numUops, full[std::size_t(i)].numUops);
+                s->release(i + 1);
+            }
+            EXPECT_EQ(s->at(full.size()), nullptr);
+        }
+
+        // The compressed tail pays only for the blocks it spans
+        // (rpb 256 at conversion): one decode per touched block, no
+        // scan of the prefix.
+        CompressedTraceStream c(t.v2, ordinal);
+        for (std::uint64_t i = ordinal; i < full.size(); ++i) {
+            ASSERT_NE(c.at(i), nullptr);
+            c.release(i + 1);
+        }
+        EXPECT_EQ(c.blocksDecoded(),
+                  (full.size() + 255) / 256 - ordinal / 256);
+        EXPECT_EQ(c.seeks(), 1u);
     }
 }
 

@@ -9,10 +9,14 @@
  * stream holds a few dozen records.
  */
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
 #include "sim/committed_stream.hh"
 #include "sim/driver.hh"
+#include "workload/trace.hh"
+#include "workload/trace2.hh"
 
 namespace pcbp
 {
@@ -63,6 +67,83 @@ TEST(LongRun, HybridMillionBranchesBoundedWindow)
     EXPECT_GT(st.criticOverrides, 0u);
     EXPECT_LE(stream.windowPeak(),
               std::size_t(cfg.pipelineDepth) + 8 + 1);
+}
+
+/**
+ * The PCBPTRC2 acceptance criterion at full scale: a ten-million-
+ * branch recorded trace compresses at least 4x against the v1 flat
+ * file, and the footer index makes any seek O(1) — one block decode
+ * to land anywhere in 10M records, checked at both ends and the
+ * middle of the file. Recording and conversion both stream, so this
+ * test's memory stays O(block), not O(trace).
+ */
+TEST(LongRun, TenMillionBranchTraceCompressesAndSeeksO1)
+{
+    const std::string v1 =
+        testing::TempDir() + "longrun_10m.pcbptrc";
+    const std::string v2 = v1 + "2";
+    constexpr std::uint64_t kBranches = 10000000;
+
+    const Workload &w = workloadByName("mm.mpeg");
+    Program p = buildProgram(w);
+    {
+        TraceWriter rec(v1);
+        ProgramWalkStream stream(p, kBranches);
+        for (std::uint64_t i = 0; i < kBranches; ++i) {
+            const CommittedBranch *r = stream.at(i);
+            ASSERT_NE(r, nullptr);
+            rec.append(*r);
+            stream.release(i + 1);
+        }
+        rec.finish();
+        ASSERT_EQ(rec.written(), kBranches);
+    }
+
+    ASSERT_EQ(convertTraceFile(v1, v2, true), kBranches);
+    const auto reader = Trace2Reader::open(v2);
+    const Trace2Info info = reader->info();
+    EXPECT_EQ(info.recordCount, kBranches);
+    const std::uint64_t v1_bytes =
+        tracefmt::headerBytes + kBranches * tracefmt::recordBytes;
+    EXPECT_GE(double(v1_bytes) / double(info.fileBytes), 4.0)
+        << "v2 is only " << info.fileBytes << " bytes vs " << v1_bytes;
+
+    // O(1) landing anywhere in the 10M records: exactly one block
+    // decode each, wherever the ordinal lives.
+    for (const std::uint64_t ordinal :
+         {std::uint64_t(0), kBranches / 2, kBranches - 1}) {
+        CompressedTraceStream s(v2, ordinal);
+        ASSERT_NE(s.at(ordinal), nullptr) << "ordinal " << ordinal;
+        EXPECT_EQ(s.blocksDecoded(), 1u) << "ordinal " << ordinal;
+    }
+
+    // Spot-check the seeded tail against a fresh walk of the same
+    // program: the index lands on the true records, not just *some*
+    // block.
+    {
+        Program q = buildProgram(w);
+        ProgramWalkStream ref(q, kBranches);
+        const std::uint64_t ordinal = kBranches - 5000;
+        for (std::uint64_t i = 0; i < ordinal; ++i) {
+            ASSERT_NE(ref.at(i), nullptr);
+            ref.release(i + 1);
+        }
+        CompressedTraceStream s(v2, ordinal);
+        for (std::uint64_t i = ordinal; i < kBranches; ++i) {
+            const CommittedBranch *a = ref.at(i);
+            const CommittedBranch *b = s.at(i);
+            ASSERT_NE(a, nullptr);
+            ASSERT_NE(b, nullptr);
+            ASSERT_EQ(a->block, b->block) << "record " << i;
+            ASSERT_EQ(a->pc, b->pc) << "record " << i;
+            ASSERT_EQ(a->taken, b->taken) << "record " << i;
+            ASSERT_EQ(a->numUops, b->numUops) << "record " << i;
+            ref.release(i + 1);
+            s.release(i + 1);
+        }
+    }
+    std::remove(v1.c_str());
+    std::remove(v2.c_str());
 }
 
 } // namespace

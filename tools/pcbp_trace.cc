@@ -1,8 +1,11 @@
 /**
  * @file
- * pcbp_trace — committed-branch trace tooling (PCBPTRC1 format).
+ * pcbp_trace — committed-branch trace tooling (PCBPTRC1 interchange
+ * and PCBPTRC2 compressed-indexed formats; every FILE argument is
+ * magic-sniffed, so either format works everywhere).
  *
  *   pcbp_trace record --workload NAME --out FILE [--branches N]
+ *                     [--format v1|v2] [--block-records N]
  *       Walk a registered workload's CFG architecturally and stream
  *       the committed branches to FILE (constant memory; N defaults
  *       to the workload's warmup + measure budget).
@@ -10,6 +13,23 @@
  *   pcbp_trace summarize FILE
  *       One chunked pass over FILE: branches, uops, taken rate,
  *       static branch count.
+ *
+ *   pcbp_trace convert IN OUT [--to v1|v2] [--block-records N]
+ *       Lossless conversion between the formats (default: to
+ *       PCBPTRC2). Prints the record count and the size ratio.
+ *
+ *   pcbp_trace info FILE
+ *       Deterministic `key value` identity of a trace file of either
+ *       format: record/block/static-branch counts, bytes per record,
+ *       compression ratio vs PCBPTRC1 (schema pinned in CI).
+ *
+ *   pcbp_trace import-ascii IN OUT [--format v1|v2]
+ *                                  [--block-records N]
+ *       Import a CBP-style ASCII branch trace: one branch per line,
+ *       `PC OUTCOME [UOPS]` — PC in hex (0x...) or decimal, OUTCOME
+ *       one of 1/0/T/N, optional per-branch uop count (default 1).
+ *       Lines starting with '#' and blank lines are skipped. Block
+ *       ids are assigned per distinct PC in first-seen order.
  *
  *   pcbp_trace replay FILE [--prophet K] [--prophet-budget B]
  *                          [--critic K|none] [--critic-budget B]
@@ -37,10 +57,12 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "obs/stat_registry.hh"
 #include "sim/driver.hh"
 #include "workload/trace.hh"
+#include "workload/trace2.hh"
 
 using namespace pcbp;
 
@@ -54,7 +76,11 @@ usage(const char *argv0)
         stderr,
         "usage: %s COMMAND [options]\n"
         "  record    --workload NAME --out FILE [--branches N]\n"
+        "            [--format v1|v2] [--block-records N]\n"
         "  summarize FILE\n"
+        "  convert   IN OUT [--to v1|v2] [--block-records N]\n"
+        "  info      FILE\n"
+        "  import-ascii IN OUT [--format v1|v2] [--block-records N]\n"
         "  replay    FILE [--prophet K] [--prophet-budget B]\n"
         "                 [--critic K|none] [--critic-budget B]\n"
         "                 [--future-bits N] [--warmup N] [--measure N]\n"
@@ -75,11 +101,25 @@ parseCount(const char *s)
     return v;
 }
 
+/** "v1" -> false, "v2" -> true; anything else is a usage error. */
+bool
+parseFormatV2(const char *s)
+{
+    const std::string f = s;
+    if (f == "v1")
+        return false;
+    if (f == "v2")
+        return true;
+    usage("pcbp_trace");
+}
+
 int
 cmdRecord(int argc, char **argv)
 {
     std::string workload, out;
     std::optional<std::uint64_t> branchesOpt;
+    bool toV2 = false;
+    std::uint32_t blockRecords = trace2fmt::defaultBlockRecords;
     for (int i = 0; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--workload" && i + 1 < argc)
@@ -88,6 +128,10 @@ cmdRecord(int argc, char **argv)
             out = argv[++i];
         else if (a == "--branches" && i + 1 < argc)
             branchesOpt = parseCount(argv[++i]);
+        else if (a == "--format" && i + 1 < argc)
+            toV2 = parseFormatV2(argv[++i]);
+        else if (a == "--block-records" && i + 1 < argc)
+            blockRecords = std::uint32_t(parseCount(argv[++i]));
         else
             usage("pcbp_trace");
     }
@@ -100,18 +144,146 @@ cmdRecord(int argc, char **argv)
 
     Program program = buildProgram(w);
     ProgramWalkStream stream(program, branches);
-    TraceWriter writer(out);
-    for (std::uint64_t i = 0; i < branches; ++i) {
-        const CommittedBranch *cb = stream.at(i);
-        pcbp_assert(cb != nullptr);
-        writer.append(*cb);
-        stream.release(i + 1);
+    const auto recordTo = [&](auto &writer) {
+        for (std::uint64_t i = 0; i < branches; ++i) {
+            const CommittedBranch *cb = stream.at(i);
+            pcbp_assert(cb != nullptr);
+            writer.append(*cb);
+            stream.release(i + 1);
+        }
+        writer.finish();
+        return writer.written();
+    };
+    std::uint64_t written = 0;
+    if (toV2) {
+        Trace2Writer writer(out, blockRecords);
+        written = recordTo(writer);
+    } else {
+        TraceWriter writer(out);
+        written = recordTo(writer);
     }
-    writer.finish();
     std::printf("recorded %" PRIu64 " branches of '%s' to %s "
-                "(window peak %zu records)\n",
-                writer.written(), w.name.c_str(), out.c_str(),
-                stream.windowPeak());
+                "(%s, window peak %zu records)\n",
+                written, w.name.c_str(), out.c_str(),
+                toV2 ? "pcbptrc2" : "pcbptrc1", stream.windowPeak());
+    return 0;
+}
+
+int
+cmdConvert(const std::string &in, const std::string &out, int argc,
+           char **argv)
+{
+    bool toV2 = true;
+    std::uint32_t blockRecords = trace2fmt::defaultBlockRecords;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--to" && i + 1 < argc)
+            toV2 = parseFormatV2(argv[++i]);
+        else if (a == "--block-records" && i + 1 < argc)
+            blockRecords = std::uint32_t(parseCount(argv[++i]));
+        else
+            usage("pcbp_trace");
+    }
+    const std::uint64_t n = convertTraceFile(in, out, toV2, blockRecords);
+    const std::uint64_t v1Bytes =
+        tracefmt::headerBytes + n * tracefmt::recordBytes;
+    const std::uint64_t outBytes =
+        toV2 ? Trace2Reader::open(out)->mappedBytes() : v1Bytes;
+    std::printf("converted %" PRIu64 " records: %s -> %s (%s, "
+                "%" PRIu64 " bytes, %.2fx vs pcbptrc1)\n",
+                n, in.c_str(), out.c_str(),
+                toV2 ? "pcbptrc2" : "pcbptrc1", outBytes,
+                outBytes ? double(v1Bytes) / double(outBytes) : 0.0);
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    std::fputs(renderTraceInfo(path).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdImportAscii(const std::string &in, const std::string &out, int argc,
+               char **argv)
+{
+    bool toV2 = true;
+    std::uint32_t blockRecords = trace2fmt::defaultBlockRecords;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--format" && i + 1 < argc)
+            toV2 = parseFormatV2(argv[++i]);
+        else if (a == "--block-records" && i + 1 < argc)
+            blockRecords = std::uint32_t(parseCount(argv[++i]));
+        else
+            usage("pcbp_trace");
+    }
+
+    std::FILE *f = std::fopen(in.c_str(), "rb");
+    if (!f)
+        pcbp_fatal("cannot open '", in, "' for reading");
+
+    // Block ids by distinct PC, first-seen order, so the importer's
+    // output replays through reconstructProgramFromTrace like any
+    // recorded trace.
+    std::unordered_map<Addr, BlockId> blockOf;
+    const auto importTo = [&](auto &writer) {
+        char line[256];
+        std::uint64_t lineNo = 0;
+        while (std::fgets(line, sizeof(line), f)) {
+            ++lineNo;
+            char *p = line;
+            while (*p == ' ' || *p == '\t')
+                ++p;
+            if (*p == '\0' || *p == '\n' || *p == '#')
+                continue;
+            char *end = nullptr;
+            const Addr pc = std::strtoull(p, &end, 0);
+            if (end == p)
+                pcbp_fatal("'", in, "' line ", lineNo, ": bad PC");
+            p = end;
+            while (*p == ' ' || *p == '\t')
+                ++p;
+            bool taken = false;
+            if (*p == '1' || *p == 'T' || *p == 't')
+                taken = true;
+            else if (*p == '0' || *p == 'N' || *p == 'n')
+                taken = false;
+            else
+                pcbp_fatal("'", in, "' line ", lineNo,
+                           ": bad outcome (want 1/0/T/N)");
+            ++p;
+            std::uint32_t uops = 1;
+            while (*p == ' ' || *p == '\t')
+                ++p;
+            if (*p != '\0' && *p != '\n' && *p != '\r' && *p != '#') {
+                const std::uint64_t u = std::strtoull(p, &end, 10);
+                if (end == p || u < 1 || u > 0xffffffffull)
+                    pcbp_fatal("'", in, "' line ", lineNo,
+                               ": bad uop count");
+                uops = std::uint32_t(u);
+            }
+            const auto fit =
+                blockOf.emplace(pc, BlockId(blockOf.size()));
+            writer.append({fit.first->second, pc, taken, uops});
+        }
+        writer.finish();
+        return writer.written();
+    };
+    std::uint64_t written = 0;
+    if (toV2) {
+        Trace2Writer writer(out, blockRecords);
+        written = importTo(writer);
+    } else {
+        TraceWriter writer(out);
+        written = importTo(writer);
+    }
+    std::fclose(f);
+    std::printf("imported %" PRIu64 " branches (%zu static) from %s "
+                "to %s (%s)\n",
+                written, blockOf.size(), in.c_str(), out.c_str(),
+                toV2 ? "pcbptrc2" : "pcbptrc1");
     return 0;
 }
 
@@ -208,7 +380,8 @@ cmdReplay(const std::string &path, int argc, char **argv)
         cfg.warmupBranches = warmup;
         cfg.measureBranches = measure;
         TimingSim sim(program, *hybrid, cfg);
-        TraceFileStream stream(path);
+        auto streamPtr = openTraceStream(path);
+        TraceStream &stream = *streamPtr;
         const TimingStats st = sim.run(stream);
         std::printf("  committed        %" PRIu64 " branches / "
                     "%" PRIu64 " uops\n",
@@ -224,7 +397,8 @@ cmdReplay(const std::string &path, int argc, char **argv)
         cfg.warmupBranches = warmup;
         cfg.measureBranches = measure;
         Engine engine(program, *hybrid, cfg);
-        TraceFileStream stream(path);
+        auto streamPtr = openTraceStream(path);
+        TraceStream &stream = *streamPtr;
         const EngineStats st = engine.run(stream);
         std::printf("  committed        %" PRIu64 " branches / "
                     "%" PRIu64 " uops\n",
@@ -293,6 +467,12 @@ main(int argc, char **argv)
         return cmdRecord(argc - 2, argv + 2);
     if (cmd == "summarize" && argc == 3)
         return cmdSummarize(argv[2]);
+    if (cmd == "convert" && argc >= 4)
+        return cmdConvert(argv[2], argv[3], argc - 4, argv + 4);
+    if (cmd == "info" && argc == 3)
+        return cmdInfo(argv[2]);
+    if (cmd == "import-ascii" && argc >= 4)
+        return cmdImportAscii(argv[2], argv[3], argc - 4, argv + 4);
     if (cmd == "replay" && argc >= 3)
         return cmdReplay(argv[2], argc - 3, argv + 3);
     if (cmd == "h2p" && argc >= 3)
